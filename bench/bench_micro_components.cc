@@ -1,0 +1,178 @@
+// Microbenchmarks of the core components (google-benchmark): program
+// executors, template sampling, NL generation, interpretation, feature
+// extraction, and the end-to-end generation pipeline.
+
+#include <benchmark/benchmark.h>
+
+#include "arith/executor.h"
+#include "arith/parser.h"
+#include "gen/generator.h"
+#include "gen/parallel.h"
+#include "logic/executor.h"
+#include "logic/parser.h"
+#include "model/features.h"
+#include "model/interpreter.h"
+#include "nlgen/nl_generator.h"
+#include "program/library.h"
+#include "program/sampler.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "table/table.h"
+
+namespace uctr {
+namespace {
+
+Table BenchTable(size_t rows) {
+  std::string csv = "nation,gold,silver,bronze,total\n";
+  for (size_t r = 0; r < rows; ++r) {
+    csv += "nation" + std::to_string(r) + "," + std::to_string(r % 13) +
+           "," + std::to_string((r * 7) % 17) + "," +
+           std::to_string((r * 3) % 11) + "," + std::to_string(r % 40) +
+           "\n";
+  }
+  return Table::FromCsv(csv).ValueOrDie();
+}
+
+void BM_CsvParse(benchmark::State& state) {
+  Table t = BenchTable(static_cast<size_t>(state.range(0)));
+  std::string csv = t.ToCsv();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Table::FromCsv(csv));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CsvParse)->Arg(16)->Arg(256);
+
+void BM_SqlExecute(benchmark::State& state) {
+  Table t = BenchTable(static_cast<size_t>(state.range(0)));
+  auto stmt = sql::Parse(
+                  "SELECT nation FROM w WHERE gold > 5 ORDER BY total DESC "
+                  "LIMIT 3")
+                  .ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::Execute(stmt, t));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SqlExecute)->Arg(16)->Arg(256);
+
+void BM_LogicExecute(benchmark::State& state) {
+  Table t = BenchTable(static_cast<size_t>(state.range(0)));
+  auto node = logic::Parse(
+                  "eq { count { filter_greater { all_rows ; gold ; 5 } } ; "
+                  "7 }")
+                  .ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(logic::Execute(*node, t));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LogicExecute)->Arg(16)->Arg(256);
+
+void BM_ArithExecute(benchmark::State& state) {
+  Table t = BenchTable(64);
+  auto expr = arith::Parse(
+                  "subtract(gold of nation3, gold of nation5), "
+                  "divide(#0, gold of nation5)")
+                  .ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arith::Execute(expr, t));
+  }
+}
+BENCHMARK(BM_ArithExecute);
+
+void BM_TemplateSample(benchmark::State& state) {
+  Table t = BenchTable(32);
+  Rng rng(1);
+  ProgramSampler sampler(&rng);
+  auto templates = BuiltinSqlTemplates();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sampler.Sample(templates[i++ % templates.size()], t));
+  }
+}
+BENCHMARK(BM_TemplateSample);
+
+void BM_NlGenerate(benchmark::State& state) {
+  Program p{ProgramType::kLogicalForm,
+            "eq { hop { filter_eq { all_rows ; nation ; nation3 } ; gold } "
+            "; 3 }"};
+  nlgen::NlGenerator generator;
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.Generate(p, &rng));
+  }
+}
+BENCHMARK(BM_NlGenerate);
+
+void BM_Interpret(benchmark::State& state) {
+  Table t = BenchTable(static_cast<size_t>(state.range(0)));
+  model::NlInterpreter interpreter(BuiltinLogicTemplates());
+  std::string claim =
+      "The number of rows whose gold is greater than 5 is 7.";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        interpreter.Interpret(claim, t, TaskType::kFactVerification));
+  }
+}
+BENCHMARK(BM_Interpret)->Arg(16)->Arg(64);
+
+void BM_FeatureExtract(benchmark::State& state) {
+  model::NlInterpreter interpreter(BuiltinLogicTemplates());
+  model::FeatureConfig config;
+  model::FeatureExtractor extractor(config, &interpreter);
+  Sample s;
+  s.task = TaskType::kFactVerification;
+  s.table = BenchTable(16);
+  s.sentence = "The number of rows whose gold is greater than 5 is 7.";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.Extract(s));
+  }
+}
+BENCHMARK(BM_FeatureExtract);
+
+void BM_GeneratePipeline(benchmark::State& state) {
+  Rng rng(3);
+  static const TemplateLibrary& library = TemplateLibrary::Builtin();
+  GenerationConfig config;
+  config.task = TaskType::kFactVerification;
+  config.program_types = {ProgramType::kLogicalForm};
+  config.samples_per_table = 4;
+  Generator generator(config, &library, &rng);
+  TableWithText input;
+  input.table = BenchTable(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.GenerateFromTable(input));
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_GeneratePipeline);
+
+void BM_GenerateParallel(benchmark::State& state) {
+  Rng corpus_rng(4);
+  std::vector<TableWithText> corpus;
+  for (int i = 0; i < 16; ++i) {
+    TableWithText entry;
+    entry.table = BenchTable(12);
+    entry.table.set_name("t" + std::to_string(i));
+    corpus.push_back(std::move(entry));
+  }
+  static const TemplateLibrary& library = TemplateLibrary::Builtin();
+  GenerationConfig config;
+  config.task = TaskType::kFactVerification;
+  config.program_types = {ProgramType::kLogicalForm};
+  config.samples_per_table = 6;
+  size_t threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GenerateDatasetParallel(config, &library, corpus, 1, threads));
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * 6);
+}
+BENCHMARK(BM_GenerateParallel)->Arg(1)->Arg(4)->UseRealTime();
+
+}  // namespace
+}  // namespace uctr
+
+BENCHMARK_MAIN();

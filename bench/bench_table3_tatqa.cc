@@ -1,0 +1,110 @@
+// Reproduces Table III: results on the development set of TAT-QA(-sim).
+//
+// Rows: supervised weak baselines (Text-Span only, Table-Cell only) and the
+// full TAGOP-style model; unsupervised MQA-QG, UCTR w/o T2T, UCTR; few-shot
+// TAGOP and TAGOP+UCTR. Columns: EM/F1 by evidence bucket.
+//
+// Expected shape (paper): TAGOP > UCTR > UCTR w/o T2T > MQA-QG, weak
+// baselines far behind; few-shot TAGOP+UCTR >> few-shot TAGOP.
+
+#include <iostream>
+
+#include "bench/harness.h"
+
+namespace uctr::bench {
+namespace {
+
+constexpr size_t kFewShot = 50;
+
+void Run() {
+  Rng rng(2023);
+  datasets::BenchmarkScale scale;
+  scale.unlabeled_tables = 40;
+  scale.gold_train_tables = 60;
+  scale.eval_tables = 40;
+  scale.gold_samples_per_table = 10;
+  scale.eval_samples_per_table = 10;
+  datasets::Benchmark bench = datasets::MakeTatQaSim(scale, &rng);
+  const auto templates = QuestionTemplatesFor(bench.program_types);
+
+  std::cout << "== Table III: results on the development set of "
+            << bench.name << " ==\n";
+  std::cout << "gold train " << bench.gold_train.size() << " samples, dev "
+            << bench.gold_dev.size() << " samples\n\n";
+
+  TablePrinter table({"Setting", "Model", "Table EM/F1", "Table-Text EM/F1",
+                      "Text EM/F1", "Total EM/F1"});
+  auto add = [&](const std::string& setting, const std::string& name,
+                 const model::QaModel& qa_model) {
+    QaBucketScores s = EvaluateQa(qa_model, bench.gold_dev);
+    table.AddRow({setting, name, EmF1Cell(s.table), EmF1Cell(s.table_text),
+                  EmF1Cell(s.text), EmF1Cell(s.total)});
+  };
+
+  // ------------------------------------------------------- supervised
+  {
+    model::QaConfig config;
+    config.use_table = false;  // Text-Span only
+    model::QaModel qa_model(config, templates);
+    qa_model.Train(bench.gold_train, &rng);
+    add("Supervised", "Text-Span only", qa_model);
+  }
+  {
+    model::QaConfig config;
+    config.use_text = false;  // Table-Cell only
+    model::QaModel qa_model(config, templates);
+    qa_model.Train(bench.gold_train, &rng);
+    add("Supervised", "Table-Cell only", qa_model);
+  }
+  {
+    model::QaModel tagop = TrainQa(bench.gold_train, templates, &rng);
+    add("Supervised", "TAGOP (full)", tagop);
+  }
+  table.AddSeparator();
+
+  // ----------------------------------------------------- unsupervised
+  Dataset mqaqg = GenerateMqaQg(bench, 8, &rng);
+  {
+    model::QaModel qa_model = TrainQa(mqaqg, templates, &rng);
+    add("Unsupervised", "MQA-QG", qa_model);
+  }
+  Dataset uctr_no_t2t =
+      GenerateUctr(bench, /*hybrid_ops=*/false, bench.program_types, 8, &rng);
+  {
+    model::QaModel qa_model = TrainQa(uctr_no_t2t, templates, &rng);
+    add("Unsupervised", "UCTR -w/o T2T", qa_model);
+  }
+  Dataset uctr = GenerateUctr(bench, 8, &rng);
+  {
+    model::QaModel qa_model = TrainQa(uctr, templates, &rng);
+    add("Unsupervised", "UCTR (ours)", qa_model);
+  }
+  table.AddSeparator();
+
+  // --------------------------------------------------------- few-shot
+  Dataset fewshot = Subsample(bench.gold_train, kFewShot, &rng);
+  {
+    model::QaModel qa_model = TrainQa(fewshot, templates, &rng);
+    add("Few-Shot", "TAGOP (50)", qa_model);
+  }
+  {
+    model::QaConfig config;
+    model::QaModel qa_model(config, templates);
+    qa_model.Train(uctr, &rng);      // pre-train on synthetic
+    qa_model.Train(fewshot, &rng);   // fine-tune on 50 gold
+    add("Few-Shot", "TAGOP+UCTR", qa_model);
+  }
+
+  table.Print();
+  std::cout << "\nsynthetic samples: UCTR " << uctr.size() << ", UCTR w/o "
+            << "T2T " << uctr_no_t2t.size() << ", MQA-QG " << mqaqg.size()
+            << "\n";
+}
+
+}  // namespace
+}  // namespace uctr::bench
+
+int main() {
+  uctr::bench::Run();
+  return 0;
+}

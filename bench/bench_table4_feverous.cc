@@ -1,0 +1,212 @@
+// Reproduces Table IV: results on FEVEROUS(-sim).
+//
+// Accuracy is the reasoning-stage label accuracy on gold evidence; the
+// FEVEROUS score additionally requires the (simulated) retriever to find
+// the right evidence set. Expected shape: full baseline > UCTR > MQA-QG >
+// random; few-shot baseline+UCTR >> few-shot baseline.
+
+#include <iostream>
+#include <map>
+
+#include "baselines/random_baseline.h"
+#include "bench/harness.h"
+#include "datasets/retrieval.h"
+
+namespace uctr::bench {
+namespace {
+
+constexpr size_t kFewShot = 50;
+constexpr double kRetrieverRecall = 0.24;  // trained-retriever recall proxy
+
+/// Evidence pool + gold indices for the retrieval stage: one entry per
+/// distinct evidence table among the samples.
+struct RetrievalSetup {
+  std::vector<TableWithText> pool;
+  std::map<std::string, size_t> index_by_table_name;
+
+  void Add(const Dataset& data) {
+    for (const Sample& s : data.samples) {
+      if (index_by_table_name.count(s.table.name())) continue;
+      index_by_table_name[s.table.name()] = pool.size();
+      TableWithText entry;
+      entry.table = s.table;
+      entry.paragraph = s.paragraph;
+      pool.push_back(std::move(entry));
+    }
+  }
+};
+
+/// FEVEROUS score with the real TF-IDF retriever: a sample scores when
+/// its own evidence entry is retrieved at rank 1 AND the label is right.
+double RetrievedScore(const model::VerifierModel& verifier,
+                      const Dataset& data,
+                      const datasets::EvidenceRetriever& retriever,
+                      const RetrievalSetup& setup) {
+  if (data.empty()) return 0.0;
+  size_t scored = 0;
+  for (const Sample& s : data.samples) {
+    bool label_ok = verifier.Predict(s) == s.label;
+    if (!label_ok) continue;
+    auto it = setup.index_by_table_name.find(s.table.name());
+    if (it == setup.index_by_table_name.end()) continue;
+    if (retriever.Hit(s.sentence, it->second, 1)) ++scored;
+  }
+  return static_cast<double>(scored) /
+         static_cast<double>(data.samples.size());
+}
+
+void Run() {
+  Rng rng(424242);
+  datasets::BenchmarkScale scale;
+  scale.unlabeled_tables = 40;
+  scale.gold_train_tables = 50;
+  scale.eval_tables = 24;
+  scale.gold_samples_per_table = 10;
+  scale.eval_samples_per_table = 8;
+  datasets::Benchmark bench = datasets::MakeFeverousSim(scale, &rng);
+
+  std::cout << "== Table IV: results on " << bench.name << " ==\n";
+  std::cout << "gold train " << bench.gold_train.size() << ", dev "
+            << bench.gold_dev.size() << ", test " << bench.gold_test.size()
+            << " samples\n\n";
+
+  // Real retrieval stage over the eval evidence pool (dev+test tables).
+  RetrievalSetup retrieval;
+  retrieval.Add(bench.gold_dev);
+  retrieval.Add(bench.gold_test);
+  datasets::EvidenceRetriever retriever(retrieval.pool);
+  {
+    std::vector<std::pair<std::string, size_t>> queries;
+    for (const Sample& s : bench.gold_dev.samples) {
+      queries.push_back(
+          {s.sentence, retrieval.index_by_table_name.at(s.table.name())});
+    }
+    std::cout << "TF-IDF retriever over " << retrieval.pool.size()
+              << " evidence entries: recall@1 = "
+              << Pct(retriever.RecallAtK(queries, 1)) << ", recall@3 = "
+              << Pct(retriever.RecallAtK(queries, 3)) << "\n\n";
+  }
+
+  TablePrinter table({"Setting", "Model", "Dev Accuracy", "Dev FEVEROUS",
+                      "Test FEVEROUS", "Dev FEVEROUS (retrieved@1)"});
+  auto add = [&](const std::string& setting, const std::string& name,
+                 const model::VerifierModel& verifier) {
+    double dev_acc = EvaluateVerifier(verifier, bench.gold_dev);
+    double dev_score = eval::FeverousScore(
+        VerifierCorrectness(verifier, bench.gold_dev), kRetrieverRecall,
+        nullptr);
+    double test_score = eval::FeverousScore(
+        VerifierCorrectness(verifier, bench.gold_test), kRetrieverRecall,
+        nullptr);
+    double retrieved =
+        RetrievedScore(verifier, bench.gold_dev, retriever, retrieval);
+    table.AddRow({setting, name, Pct(dev_acc), Pct(dev_score),
+                  Pct(test_score), Pct(retrieved)});
+  };
+
+  // ------------------------------------------------------- supervised
+  {
+    model::VerifierModel sentence_only =
+        TrainVerifier(SentenceOnlyView(bench.gold_train), 2, &rng);
+    // Evaluate with sentence-only evidence as well.
+    double dev_acc =
+        EvaluateVerifier(sentence_only, SentenceOnlyView(bench.gold_dev));
+    double dev_score = eval::FeverousScore(
+        VerifierCorrectness(sentence_only, SentenceOnlyView(bench.gold_dev)),
+        kRetrieverRecall, nullptr);
+    double test_score = eval::FeverousScore(
+        VerifierCorrectness(sentence_only,
+                            SentenceOnlyView(bench.gold_test)),
+        kRetrieverRecall, nullptr);
+    table.AddRow({"Supervised", "Sentence-only baseline", Pct(dev_acc),
+                  Pct(dev_score), Pct(test_score),
+                  Pct(RetrievedScore(sentence_only,
+                                     SentenceOnlyView(bench.gold_dev),
+                                     retriever, retrieval))});
+  }
+  {
+    model::VerifierModel table_only =
+        TrainVerifier(TableOnlyView(bench.gold_train), 2, &rng);
+    double dev_acc =
+        EvaluateVerifier(table_only, TableOnlyView(bench.gold_dev));
+    double dev_score = eval::FeverousScore(
+        VerifierCorrectness(table_only, TableOnlyView(bench.gold_dev)),
+        kRetrieverRecall, nullptr);
+    double test_score = eval::FeverousScore(
+        VerifierCorrectness(table_only, TableOnlyView(bench.gold_test)),
+        kRetrieverRecall, nullptr);
+    table.AddRow({"Supervised", "Table-only baseline", Pct(dev_acc),
+                  Pct(dev_score), Pct(test_score),
+                  Pct(RetrievedScore(table_only, TableOnlyView(bench.gold_dev),
+                                     retriever, retrieval))});
+  }
+  {
+    model::VerifierModel full = TrainVerifier(bench.gold_train, 2, &rng);
+    add("Supervised", "Full baseline", full);
+  }
+  table.AddSeparator();
+
+  // ----------------------------------------------------- unsupervised
+  {
+    baselines::RandomBaseline random(2, &rng);
+    std::vector<Label> gold, pred;
+    for (const Sample& s : bench.gold_dev.samples) gold.push_back(s.label);
+    pred = random.PredictAll(gold.size());
+    double dev_acc = eval::LabelAccuracy(pred, gold);
+    std::vector<bool> correct(gold.size());
+    for (size_t i = 0; i < gold.size(); ++i) correct[i] = pred[i] == gold[i];
+    double dev_score =
+        eval::FeverousScore(correct, kRetrieverRecall, nullptr);
+    std::vector<Label> gold_t;
+    for (const Sample& s : bench.gold_test.samples) gold_t.push_back(s.label);
+    std::vector<Label> pred_t = random.PredictAll(gold_t.size());
+    std::vector<bool> correct_t(gold_t.size());
+    for (size_t i = 0; i < gold_t.size(); ++i) {
+      correct_t[i] = pred_t[i] == gold_t[i];
+    }
+    double test_score =
+        eval::FeverousScore(correct_t, kRetrieverRecall, nullptr);
+    table.AddRow({"Unsupervised", "Random", Pct(dev_acc), Pct(dev_score),
+                  Pct(test_score), "-"});
+  }
+  {
+    Dataset mqaqg = GenerateMqaQg(bench, 8, &rng);
+    model::VerifierModel verifier = TrainVerifier(mqaqg, 2, &rng);
+    add("Unsupervised", "MQA-QG", verifier);
+  }
+  Dataset uctr = GenerateUctr(bench, 8, &rng);
+  {
+    model::VerifierModel verifier = TrainVerifier(uctr, 2, &rng);
+    add("Unsupervised", "UCTR (ours)", verifier);
+  }
+  table.AddSeparator();
+
+  // --------------------------------------------------------- few-shot
+  Dataset fewshot = Subsample(bench.gold_train, kFewShot, &rng);
+  {
+    model::VerifierModel verifier = TrainVerifier(fewshot, 2, &rng);
+    add("Few-Shot", "Full baseline (50)", verifier);
+  }
+  {
+    model::VerifierConfig config;
+    model::VerifierModel verifier(config, BuiltinLogicTemplates());
+    verifier.Train(uctr, &rng);
+    verifier.Train(fewshot, &rng);
+    add("Few-Shot", "Full baseline+UCTR", verifier);
+  }
+
+  table.Print();
+  std::cout << "\n(The 'Dev/Test FEVEROUS' columns use a fixed-recall "
+            << kRetrieverRecall << " retrieval proxy matched to the paper's "
+            << "scale; the last column repeats the dev score with the real "
+            << "TF-IDF retriever over the simulated evidence pool — same "
+            << "orderings, higher recall because the pool is small.)\n";
+}
+
+}  // namespace
+}  // namespace uctr::bench
+
+int main() {
+  uctr::bench::Run();
+  return 0;
+}

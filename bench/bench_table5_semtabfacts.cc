@@ -1,0 +1,124 @@
+// Reproduces Table V: 3-way micro-F1 on SEM-TAB-FACTS(-sim).
+//
+// Rows: supervised TAPAS; unsupervised Random / MQA-QG / TAPAS-Transfer
+// (trained on TABFACT-sim, applied zero-shot) / UCTR; few-shot TAPAS and
+// TAPAS+UCTR. Expected shape: supervised > UCTR > TAPAS-Transfer > MQA-QG
+// > Random; TAPAS+UCTR recovers near-unsupervised-UCTR performance.
+
+#include <iostream>
+
+#include "baselines/random_baseline.h"
+#include "bench/harness.h"
+
+namespace uctr::bench {
+namespace {
+
+constexpr size_t kFewShot = 50;
+
+double MicroF1(const model::VerifierModel& verifier, const Dataset& data) {
+  std::vector<Label> gold, pred;
+  for (const Sample& s : data.samples) {
+    if (s.task != TaskType::kFactVerification) continue;
+    gold.push_back(s.label);
+    pred.push_back(verifier.Predict(s));
+  }
+  return eval::ThreeWayMicroF1(pred, gold);
+}
+
+void Run() {
+  Rng rng(555);
+  datasets::BenchmarkScale scale;
+  scale.unlabeled_tables = 36;  // divided by 3 inside the low-resource sim
+  scale.gold_train_tables = 60;  // -> 20 tables: few tables, many claims
+  scale.eval_tables = 32;
+  scale.gold_samples_per_table = 12;
+  scale.eval_samples_per_table = 8;
+  datasets::Benchmark bench = datasets::MakeSemTabFactsSim(scale, &rng);
+
+  std::cout << "== Table V: results on " << bench.name << " ==\n";
+  std::cout << "gold train " << bench.gold_train.size() << ", dev "
+            << bench.gold_dev.size() << ", test " << bench.gold_test.size()
+            << " samples (3-way)\n\n";
+
+  TablePrinter table(
+      {"Setting", "Model", "Dev micro-F1", "Test micro-F1"});
+  auto add = [&](const std::string& setting, const std::string& name,
+                 const model::VerifierModel& verifier) {
+    table.AddRow({setting, name, Pct(MicroF1(verifier, bench.gold_dev)),
+                  Pct(MicroF1(verifier, bench.gold_test))});
+  };
+
+  // Supervised TAPAS.
+  {
+    model::VerifierModel tapas = TrainVerifier(bench.gold_train, 3, &rng);
+    add("Supervised", "TAPAS", tapas);
+  }
+  table.AddSeparator();
+
+  // Random.
+  {
+    baselines::RandomBaseline random(3, &rng);
+    std::vector<Label> gold_d, gold_t;
+    for (const Sample& s : bench.gold_dev.samples) gold_d.push_back(s.label);
+    for (const Sample& s : bench.gold_test.samples) gold_t.push_back(s.label);
+    table.AddRow({"Unsupervised", "Random",
+                  Pct(eval::ThreeWayMicroF1(random.PredictAll(gold_d.size()),
+                                            gold_d)),
+                  Pct(eval::ThreeWayMicroF1(random.PredictAll(gold_t.size()),
+                                            gold_t))});
+  }
+  // MQA-QG.
+  {
+    Dataset mqaqg = GenerateMqaQg(bench, 8, &rng);
+    model::VerifierModel verifier = TrainVerifier(mqaqg, 3, &rng);
+    add("Unsupervised", "MQA-QG", verifier);
+  }
+  // TAPAS-Transfer: trained on the large general-domain TABFACT-sim
+  // (2-way), applied to the scientific 3-way task zero-shot. It never
+  // predicts Unknown, capping its F1 — the paper's observation.
+  {
+    datasets::BenchmarkScale tabfact_scale;
+    tabfact_scale.gold_train_tables = 30;
+    tabfact_scale.unlabeled_tables = 4;
+    tabfact_scale.eval_tables = 2;
+    datasets::Benchmark tabfact =
+        datasets::MakeTabFactSim(tabfact_scale, &rng);
+    model::VerifierConfig config;
+    config.num_classes = 3;  // can output Unknown, but never trained on it
+    model::VerifierModel transfer(config, BuiltinLogicTemplates());
+    transfer.Train(tabfact.gold_train, &rng);
+    add("Unsupervised", "TAPAS-Transfer", transfer);
+  }
+  // UCTR.
+  Dataset uctr = GenerateUctr(bench, 22, &rng);
+  {
+    model::VerifierModel verifier = TrainVerifier(uctr, 3, &rng);
+    add("Unsupervised", "UCTR (ours)", verifier);
+  }
+  table.AddSeparator();
+
+  // Few-shot.
+  Dataset fewshot = Subsample(bench.gold_train, kFewShot, &rng);
+  {
+    model::VerifierModel verifier = TrainVerifier(fewshot, 3, &rng);
+    add("Few-Shot", "TAPAS (50)", verifier);
+  }
+  {
+    model::VerifierConfig config;
+    config.num_classes = 3;
+    model::VerifierModel verifier(config, BuiltinLogicTemplates());
+    verifier.Train(uctr, &rng);
+    verifier.Train(fewshot, &rng);
+    add("Few-Shot", "TAPAS+UCTR", verifier);
+  }
+
+  table.Print();
+}
+
+}  // namespace
+}  // namespace uctr::bench
+
+int main() {
+  uctr::bench::Run();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Reproduces Table VI: denotation accuracy on WiKiSQL(-sim).
+//
+// Rows: supervised TAPAS and TAPEX; unsupervised zero-shot TAPEX (the
+// untrained parser, analogous to the released tapex-base applied without
+// fine-tuning), MQA-QG, UCTR; few-shot TAPEX and TAPEX+UCTR. Expected
+// shape: supervised > UCTR > MQA-QG > zero-shot; TAPEX+UCTR > few-shot.
+
+#include <iostream>
+
+#include "bench/harness.h"
+
+namespace uctr::bench {
+namespace {
+
+constexpr size_t kFewShot = 50;
+
+void Run() {
+  Rng rng(606060);
+  datasets::BenchmarkScale scale;
+  scale.unlabeled_tables = 40;
+  scale.gold_train_tables = 30;
+  scale.eval_tables = 24;
+  scale.gold_samples_per_table = 8;
+  scale.eval_samples_per_table = 8;
+  datasets::Benchmark bench = datasets::MakeWikiSqlSim(scale, &rng);
+  const auto templates = QuestionTemplatesFor(bench.program_types);
+
+  std::cout << "== Table VI: denotation accuracy on " << bench.name
+            << " ==\n";
+  std::cout << "gold train " << bench.gold_train.size() << ", dev "
+            << bench.gold_dev.size() << ", test " << bench.gold_test.size()
+            << " samples\n\n";
+
+  TablePrinter table({"Setting", "Model", "Dev", "Test"});
+  auto add = [&](const std::string& setting, const std::string& name,
+                 const model::QaModel& qa_model) {
+    table.AddRow({setting, name,
+                  Pct(EvaluateDenotation(qa_model, bench.gold_dev)),
+                  Pct(EvaluateDenotation(qa_model, bench.gold_test))});
+  };
+
+  // Supervised: TAPAS (weaker configuration) and TAPEX (full).
+  {
+    model::QaConfig config;
+    config.train.epochs = 2;  // TAPAS: weaker fit than TAPEX
+    model::QaModel tapas(config, templates);
+    tapas.Train(bench.gold_train, &rng);
+    add("Supervised", "TAPAS", tapas);
+  }
+  {
+    model::QaModel tapex = TrainQa(bench.gold_train, templates, &rng);
+    add("Supervised", "TAPEX", tapex);
+  }
+  table.AddSeparator();
+
+  // Unsupervised.
+  {
+    model::QaConfig config;
+    model::QaModel zero_shot(config, templates);  // never trained
+    add("Unsupervised", "TAPEX (zero-shot)", zero_shot);
+  }
+  {
+    Dataset mqaqg = GenerateMqaQg(bench, 8, &rng);
+    model::QaModel qa_model = TrainQa(mqaqg, templates, &rng);
+    add("Unsupervised", "MQA-QG", qa_model);
+  }
+  Dataset uctr = GenerateUctr(bench, 8, &rng);
+  {
+    model::QaModel qa_model = TrainQa(uctr, templates, &rng);
+    add("Unsupervised", "UCTR (ours)", qa_model);
+  }
+  table.AddSeparator();
+
+  // Few-shot.
+  Dataset fewshot = Subsample(bench.gold_train, kFewShot, &rng);
+  {
+    model::QaModel qa_model = TrainQa(fewshot, templates, &rng);
+    add("Few-Shot", "TAPEX (50)", qa_model);
+  }
+  {
+    model::QaConfig config;
+    model::QaModel qa_model(config, templates);
+    qa_model.Train(uctr, &rng);
+    qa_model.Train(fewshot, &rng);
+    add("Few-Shot", "TAPEX+UCTR", qa_model);
+  }
+
+  table.Print();
+}
+
+}  // namespace
+}  // namespace uctr::bench
+
+int main() {
+  uctr::bench::Run();
+  return 0;
+}

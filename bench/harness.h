@@ -1,0 +1,105 @@
+#ifndef UCTR_BENCH_HARNESS_H_
+#define UCTR_BENCH_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/mqa_qg.h"
+#include "common/rng.h"
+#include "datasets/benchmark.h"
+#include "eval/metrics.h"
+#include "gen/generator.h"
+#include "model/qa_model.h"
+#include "model/verifier.h"
+#include "program/library.h"
+
+namespace uctr::bench {
+
+// ---------------------------------------------------------------- output
+
+/// \brief Fixed-width console table in the style of the paper's tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+  void AddSeparator();
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;  // empty row = separator
+  std::vector<size_t> widths_;
+};
+
+/// \brief Formats a fraction as a percentage with one decimal ("62.4").
+std::string Pct(double value);
+
+/// \brief "EM/F1" pair rendering ("30.7 / 32.4").
+std::string EmF1Cell(const eval::EmF1& scores);
+
+// ------------------------------------------------------ data preparation
+
+/// \brief UCTR synthetic training data over a benchmark's unlabeled corpus
+/// (the paper's unsupervised setting).
+Dataset GenerateUctr(const datasets::Benchmark& bench, bool hybrid_ops,
+                     const std::vector<ProgramType>& program_types,
+                     size_t samples_per_table, Rng* rng);
+
+/// \brief Same with the benchmark's own program types and hybrid setting.
+Dataset GenerateUctr(const datasets::Benchmark& bench,
+                     size_t samples_per_table, Rng* rng);
+
+/// \brief MQA-QG synthetic training data (simple single-row samples).
+Dataset GenerateMqaQg(const datasets::Benchmark& bench,
+                      size_t samples_per_table, Rng* rng);
+
+/// \brief Uniform random subset of `n` samples (few-shot gold data).
+Dataset Subsample(const Dataset& data, size_t n, Rng* rng);
+
+/// \brief Evidence-stripped views (the weak supervised baselines).
+Dataset TableOnlyView(const Dataset& data);     ///< drops paragraphs
+Dataset SentenceOnlyView(const Dataset& data);  ///< drops tables
+
+// ------------------------------------------------------------ evaluation
+
+/// \brief Per-evidence-bucket EM/F1 (the Table III columns).
+struct QaBucketScores {
+  eval::EmF1 table;
+  eval::EmF1 table_text;
+  eval::EmF1 text;
+  eval::EmF1 total;
+};
+
+QaBucketScores EvaluateQa(const model::QaModel& qa_model,
+                          const Dataset& data);
+
+/// \brief Denotation accuracy of a QA model (WiKiSQL protocol).
+double EvaluateDenotation(const model::QaModel& qa_model,
+                          const Dataset& data);
+
+/// \brief Label accuracy of a verifier.
+double EvaluateVerifier(const model::VerifierModel& verifier,
+                        const Dataset& data);
+
+/// \brief Per-sample correctness flags (input to the FEVEROUS score).
+std::vector<bool> VerifierCorrectness(const model::VerifierModel& verifier,
+                                      const Dataset& data);
+
+// -------------------------------------------------------- trained models
+
+/// \brief A QA model trained on `data` with default settings.
+model::QaModel TrainQa(const Dataset& data,
+                       const std::vector<ProgramTemplate>& templates,
+                       Rng* rng);
+
+/// \brief A verifier trained on `data` with default settings.
+model::VerifierModel TrainVerifier(const Dataset& data, int num_classes,
+                                   Rng* rng);
+
+/// \brief Question templates for a benchmark's program types.
+std::vector<ProgramTemplate> QuestionTemplatesFor(
+    const std::vector<ProgramType>& program_types);
+
+}  // namespace uctr::bench
+
+#endif  // UCTR_BENCH_HARNESS_H_

@@ -1,0 +1,40 @@
+#include "arith/ast.h"
+
+#include "common/numeric.h"
+
+namespace uctr::arith {
+
+std::string Operand::ToString() const {
+  switch (kind) {
+    case Kind::kStepRef:
+      return "#" + std::to_string(step_ref);
+    case Kind::kConst:
+      return text.empty() ? FormatNumber(constant) : text;
+    case Kind::kCellRef:
+      return column + " of " + row;
+    case Kind::kText:
+      return text;
+  }
+  return text;
+}
+
+std::string Step::ToString() const {
+  std::string out = op + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::string Expression::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += steps[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace uctr::arith

@@ -1,0 +1,47 @@
+#ifndef UCTR_ARITH_AST_H_
+#define UCTR_ARITH_AST_H_
+
+#include <string>
+#include <vector>
+
+namespace uctr::arith {
+
+/// \brief One argument of an arithmetic step.
+struct Operand {
+  enum class Kind {
+    kStepRef,  ///< `#n` — result of an earlier step.
+    kConst,    ///< a numeric literal, incl. FinQA's `const_100` spellings.
+    kCellRef,  ///< `col_name of row_name` — a table lookup (paper IV-B).
+    kText,     ///< unresolved text, resolved against the table at execution.
+  };
+
+  Kind kind = Kind::kText;
+  size_t step_ref = 0;   // for kStepRef
+  double constant = 0;   // for kConst
+  std::string column;    // for kCellRef
+  std::string row;       // for kCellRef
+  std::string text;      // for kText (and original spelling otherwise)
+
+  std::string ToString() const;
+};
+
+/// \brief One step: `op(arg1, arg2)` (unary for table aggregations).
+struct Step {
+  std::string op;
+  std::vector<Operand> args;
+
+  std::string ToString() const;
+};
+
+/// \brief A FinQA-style program: a comma-separated sequence of steps whose
+/// value is the result of the last step. Example:
+///   `subtract(revenue of 2019, revenue of 2018), divide(#0, revenue of 2018)`
+struct Expression {
+  std::vector<Step> steps;
+
+  std::string ToString() const;
+};
+
+}  // namespace uctr::arith
+
+#endif  // UCTR_ARITH_AST_H_

@@ -1,0 +1,140 @@
+#include "arith/parser.h"
+
+#include <cctype>
+
+#include "common/numeric.h"
+#include "common/string_util.h"
+
+namespace uctr::arith {
+
+namespace {
+
+const char* kOps[] = {"add",       "subtract",  "multiply",
+                      "divide",    "greater",   "exp",
+                      "table_max", "table_min", "table_sum",
+                      "table_average"};
+
+Result<Operand> ParseOperand(std::string_view raw) {
+  std::string text = Trim(raw);
+  if (text.empty()) return Status::ParseError("empty operand");
+  Operand op;
+  op.text = text;
+  if (text[0] == '#') {
+    auto n = ParseNumber(std::string_view(text).substr(1));
+    if (!n || *n < 0) {
+      return Status::ParseError("bad step reference '" + text + "'");
+    }
+    op.kind = Operand::Kind::kStepRef;
+    op.step_ref = static_cast<size_t>(*n);
+    return op;
+  }
+  if (StartsWith(ToLower(text), "const_")) {
+    auto n = ParseNumber(std::string_view(text).substr(6));
+    if (!n) return Status::ParseError("bad constant '" + text + "'");
+    op.kind = Operand::Kind::kConst;
+    op.constant = *n;
+    return op;
+  }
+  if (auto n = ParseNumber(text)) {
+    op.kind = Operand::Kind::kConst;
+    op.constant = *n;
+    return op;
+  }
+  // "col of row": split on the *last* " of " so column names containing
+  // "of" still work ("share of revenue of 2019" -> col "share of revenue").
+  size_t pos = ToLower(text).rfind(" of ");
+  if (pos != std::string::npos && pos > 0) {
+    op.kind = Operand::Kind::kCellRef;
+    op.column = Trim(std::string_view(text).substr(0, pos));
+    op.row = Trim(std::string_view(text).substr(pos + 4));
+    if (!op.column.empty() && !op.row.empty()) return op;
+  }
+  op.kind = Operand::Kind::kText;
+  return op;
+}
+
+}  // namespace
+
+bool IsKnownOperation(std::string_view op) {
+  for (const char* k : kOps) {
+    if (EqualsIgnoreCase(op, k)) return true;
+  }
+  return false;
+}
+
+Result<Expression> Parse(std::string_view text) {
+  Expression expr;
+  size_t i = 0;
+  auto skip_space = [&] {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+  };
+  skip_space();
+  while (i < text.size()) {
+    // Operation name up to '('.
+    size_t start = i;
+    while (i < text.size() && text[i] != '(') ++i;
+    if (i >= text.size()) {
+      return Status::ParseError("expected '(' in arithmetic step");
+    }
+    Step step;
+    step.op = ToLower(Trim(text.substr(start, i - start)));
+    if (!IsKnownOperation(step.op)) {
+      return Status::ParseError("unknown operation '" + step.op + "'");
+    }
+    ++i;  // consume '('
+    // Arguments up to matching ')', split on top-level commas.
+    std::string current;
+    bool closed = false;
+    while (i < text.size()) {
+      char c = text[i];
+      if (c == ')') {
+        ++i;
+        closed = true;
+        break;
+      }
+      if (c == ',') {
+        UCTR_ASSIGN_OR_RETURN(Operand operand, ParseOperand(current));
+        step.args.push_back(std::move(operand));
+        current.clear();
+        ++i;
+        continue;
+      }
+      current.push_back(c);
+      ++i;
+    }
+    if (!closed) return Status::ParseError("unterminated '(' in step");
+    if (!Trim(current).empty() || step.args.empty()) {
+      UCTR_ASSIGN_OR_RETURN(Operand operand, ParseOperand(current));
+      step.args.push_back(std::move(operand));
+    }
+    expr.steps.push_back(std::move(step));
+    skip_space();
+    if (i < text.size()) {
+      if (text[i] != ',') {
+        return Status::ParseError("expected ',' between steps at offset " +
+                                  std::to_string(i));
+      }
+      ++i;
+      skip_space();
+    }
+  }
+  if (expr.steps.empty()) {
+    return Status::ParseError("empty arithmetic expression");
+  }
+  // Validate step references point backwards.
+  for (size_t s = 0; s < expr.steps.size(); ++s) {
+    for (const Operand& op : expr.steps[s].args) {
+      if (op.kind == Operand::Kind::kStepRef && op.step_ref >= s) {
+        return Status::ParseError("step reference #" +
+                                  std::to_string(op.step_ref) +
+                                  " must point to an earlier step");
+      }
+    }
+  }
+  return expr;
+}
+
+}  // namespace uctr::arith

@@ -1,0 +1,25 @@
+#ifndef UCTR_ARITH_PARSER_H_
+#define UCTR_ARITH_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "arith/ast.h"
+
+namespace uctr::arith {
+
+/// \brief Parses a FinQA arithmetic program:
+///   step (, step)*    with step = op(arg1[, arg2])
+/// Supported ops: add, subtract, multiply, divide, greater, exp,
+/// table_max, table_min, table_sum, table_average.
+/// Arguments may be `#n` step references, numeric constants (`5`,
+/// `const_100`), `col of row` cell references, or free text resolved
+/// against the table at execution time.
+Result<Expression> Parse(std::string_view text);
+
+/// \brief True if `op` names a supported operation.
+bool IsKnownOperation(std::string_view op);
+
+}  // namespace uctr::arith
+
+#endif  // UCTR_ARITH_PARSER_H_

@@ -1,0 +1,39 @@
+#include "arith/trace.h"
+
+#include "arith/executor.h"
+
+namespace uctr::arith {
+
+std::string ArithTrace::ToString() const {
+  std::string out;
+  for (const ArithTraceStep& step : steps) {
+    out += "  #" + std::to_string(step.index) + ": " + step.expression +
+           "  =>  " + step.output + "\n";
+  }
+  return out;
+}
+
+Result<ArithTrace> ExecuteWithTrace(const Expression& expr,
+                                    const Table& table) {
+  ArithTrace trace;
+  // Execute growing prefixes: prefix i's final value is step i's result.
+  // Tables are small, so the quadratic re-execution is negligible and
+  // keeps this file independent of the executor's internals.
+  for (size_t i = 0; i < expr.steps.size(); ++i) {
+    Expression prefix;
+    prefix.steps.assign(expr.steps.begin(), expr.steps.begin() + i + 1);
+    UCTR_ASSIGN_OR_RETURN(ExecResult result, Execute(prefix, table));
+    ArithTraceStep step;
+    step.index = i;
+    step.expression = expr.steps[i].ToString();
+    step.output = result.scalar().ToDisplayString();
+    trace.steps.push_back(std::move(step));
+    if (i + 1 == expr.steps.size()) trace.result = std::move(result);
+  }
+  if (trace.steps.empty()) {
+    return Status::InvalidArgument("empty arithmetic expression");
+  }
+  return trace;
+}
+
+}  // namespace uctr::arith

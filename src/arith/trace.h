@@ -1,0 +1,39 @@
+#ifndef UCTR_ARITH_TRACE_H_
+#define UCTR_ARITH_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "arith/ast.h"
+#include "table/exec_result.h"
+#include "table/table.h"
+
+namespace uctr::arith {
+
+/// \brief One evaluated step of an arithmetic program: the rendered step
+/// and its numeric (or boolean) result.
+struct ArithTraceStep {
+  size_t index = 0;        ///< step number (what `#index` refers to)
+  std::string expression;  ///< "subtract(2019 of revenue, 2018 of revenue)"
+  std::string output;      ///< "200.5"
+};
+
+/// \brief Full program trace plus the final result.
+struct ArithTrace {
+  ExecResult result;
+  std::vector<ArithTraceStep> steps;
+
+  /// \brief "  #0: subtract(...) => 200.5" per line.
+  std::string ToString() const;
+};
+
+/// \brief Executes `expr` step by step, recording every intermediate
+/// value (the FinQA `#n` chain made visible). Semantics are identical to
+/// arith::Execute.
+Result<ArithTrace> ExecuteWithTrace(const Expression& expr,
+                                    const Table& table);
+
+}  // namespace uctr::arith
+
+#endif  // UCTR_ARITH_TRACE_H_

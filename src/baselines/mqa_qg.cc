@@ -1,0 +1,124 @@
+#include "baselines/mqa_qg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/numeric.h"
+#include "common/string_util.h"
+#include "hybrid/table_to_text.h"
+
+namespace uctr::baselines {
+
+MqaQg::MqaQg(MqaQgConfig config, Rng* rng) : config_(config), rng_(rng) {}
+
+Result<Sample> MqaQg::TryGenerate(const TableWithText& input) {
+  const Table& table = input.table;
+  if (table.num_rows() == 0 || table.num_columns() < 2) {
+    return Status::InvalidArgument("table too small for MQA-QG");
+  }
+  // Bridge entity: a row; target: one of its non-entity cells.
+  size_t row = rng_->Index(table.num_rows());
+  size_t col = 1 + rng_->Index(table.num_columns() - 1);
+  const Value& entity = table.cell(row, 0);
+  const Value& target = table.cell(row, col);
+  if (entity.is_null() || target.is_null()) {
+    return Status::EmptyResult("bridge entity or target cell missing");
+  }
+  std::string entity_text = entity.ToDisplayString();
+  std::string column_name = table.schema().column(col).name;
+  std::string target_text = target.ToDisplayString();
+
+  Sample sample;
+  sample.task = config_.task;
+  sample.reasoning_type = "simple";
+  sample.evidence_rows = {row};
+  // Single-cell program (kept for provenance / answer re-derivation).
+  sample.program.type = ProgramType::kSql;
+  sample.program.text = "SELECT [" + column_name + "] FROM w WHERE [" +
+                        table.schema().column(0).name + "] = '" +
+                        ReplaceAll(entity_text, "'", "''") + "'";
+
+  if (config_.task == TaskType::kQuestionAnswering) {
+    sample.sentence =
+        "What is the " + column_name + " of " + entity_text + "?";
+    sample.answer = target_text;
+    sample.answer_values = {target};
+  } else {
+    bool supported = rng_->Bernoulli(config_.supported_fraction);
+    std::string claimed = target_text;
+    if (!supported) {
+      if (auto n = target.ToNumber(); n.ok()) {
+        double v = n.ValueOrDie();
+        double delta = std::max(1.0, std::abs(v) * 0.25);
+        claimed = FormatNumber(v + (rng_->Bernoulli(0.5) ? delta : -delta));
+      } else {
+        // Distractor from the same column.
+        std::string distractor;
+        for (size_t r = 0; r < table.num_rows(); ++r) {
+          const Value& v = table.cell(r, col);
+          if (!v.is_null() && !v.Equals(target)) {
+            distractor = v.ToDisplayString();
+            break;
+          }
+        }
+        if (distractor.empty()) {
+          return Status::NotFound("no distractor for refuted claim");
+        }
+        claimed = distractor;
+      }
+    }
+    sample.sentence =
+        "The " + column_name + " of " + entity_text + " is " + claimed + ".";
+    sample.label = supported ? Label::kSupported : Label::kRefuted;
+    // Keep a logical-form rendering so labels stay execution-consistent.
+    sample.program.type = ProgramType::kLogicalForm;
+    sample.program.text = "eq { hop { filter_eq { all_rows ; " +
+                          table.schema().column(0).name + " ; " +
+                          entity_text + " } ; " + column_name + " } ; " +
+                          claimed + " }";
+  }
+
+  // Bridge mode: describe the row as text and hand out the sub-table.
+  if (rng_->Bernoulli(config_.bridge_fraction) && table.num_rows() >= 2) {
+    hybrid::TableToText describe;
+    auto split = describe.Apply(table, row, rng_);
+    if (split.ok()) {
+      sample.table = split->sub_table;
+      sample.paragraph = {split->sentence};
+      sample.source = EvidenceSource::kTextOnly;  // one-row evidence
+      return sample;
+    }
+  }
+  sample.table = table;
+  sample.paragraph = input.paragraph;
+  sample.source = EvidenceSource::kTableOnly;
+  return sample;
+}
+
+std::vector<Sample> MqaQg::GenerateFromTable(const TableWithText& input) {
+  std::vector<Sample> out;
+  std::set<std::string> seen;
+  for (size_t i = 0; i < config_.samples_per_table; ++i) {
+    for (int attempt = 0; attempt < 10; ++attempt) {
+      auto r = TryGenerate(input);
+      if (!r.ok()) continue;
+      if (!seen.insert(r->sentence).second) continue;
+      out.push_back(std::move(r).ValueOrDie());
+      break;
+    }
+  }
+  return out;
+}
+
+Dataset MqaQg::GenerateDataset(const std::vector<TableWithText>& corpus) {
+  Dataset dataset;
+  for (const TableWithText& input : corpus) {
+    for (Sample& s : GenerateFromTable(input)) {
+      dataset.samples.push_back(std::move(s));
+    }
+  }
+  return dataset;
+}
+
+}  // namespace uctr::baselines

@@ -1,0 +1,48 @@
+#ifndef UCTR_BASELINES_MQA_QG_H_
+#define UCTR_BASELINES_MQA_QG_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "gen/generator.h"
+#include "gen/sample.h"
+
+namespace uctr::baselines {
+
+/// \brief Configuration of the MQA-QG baseline generator.
+struct MqaQgConfig {
+  TaskType task = TaskType::kQuestionAnswering;
+  size_t samples_per_table = 8;
+  /// Fraction of samples using the DescribeEnt bridge (sentence + table).
+  double bridge_fraction = 0.4;
+  /// Fact verification: fraction of supported claims.
+  double supported_fraction = 0.5;
+};
+
+/// \brief Reimplementation of the MQA-QG baseline [38] adapted to the
+/// paper's benchmarks (Section V-C): finds a bridge entity, describes its
+/// row with the DescribeEnt operator, and composes a question or claim
+/// about a single cell.
+///
+/// Its defining limitation — faithfully reproduced — is that every sample
+/// involves exactly one row and no complex logic: no counting,
+/// superlatives, aggregation, or arithmetic. Models trained on this data
+/// miss most reasoning types of the gold distribution (Figure 2).
+class MqaQg {
+ public:
+  /// \param rng not owned.
+  MqaQg(MqaQgConfig config, Rng* rng);
+
+  std::vector<Sample> GenerateFromTable(const TableWithText& input);
+  Dataset GenerateDataset(const std::vector<TableWithText>& corpus);
+
+ private:
+  Result<Sample> TryGenerate(const TableWithText& input);
+
+  MqaQgConfig config_;
+  Rng* rng_;
+};
+
+}  // namespace uctr::baselines
+
+#endif  // UCTR_BASELINES_MQA_QG_H_

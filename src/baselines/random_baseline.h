@@ -1,0 +1,40 @@
+#ifndef UCTR_BASELINES_RANDOM_BASELINE_H_
+#define UCTR_BASELINES_RANDOM_BASELINE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "gen/sample.h"
+
+namespace uctr::baselines {
+
+/// \brief The Random baseline of Tables IV/V: uniform label guessing over
+/// the task's label set (2-way for FEVEROUS, 3-way for SEM-TAB-FACTS).
+class RandomBaseline {
+ public:
+  /// \param rng not owned.
+  RandomBaseline(int num_classes, Rng* rng)
+      : num_classes_(num_classes), rng_(rng) {}
+
+  Label Predict() {
+    int c = static_cast<int>(rng_->UniformInt(0, num_classes_ - 1));
+    if (c == 0) return Label::kSupported;
+    if (c == 1) return Label::kRefuted;
+    return Label::kUnknown;
+  }
+
+  std::vector<Label> PredictAll(size_t n) {
+    std::vector<Label> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) out.push_back(Predict());
+    return out;
+  }
+
+ private:
+  int num_classes_;
+  Rng* rng_;
+};
+
+}  // namespace uctr::baselines
+
+#endif  // UCTR_BASELINES_RANDOM_BASELINE_H_

@@ -1,0 +1,95 @@
+#include "common/numeric.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace uctr {
+
+std::optional<double> ParseNumber(std::string_view text) {
+  std::string s = Trim(text);
+  if (s.empty()) return std::nullopt;
+
+  bool negative = false;
+  // Accounting negatives: "(123)".
+  if (s.front() == '(' && s.back() == ')') {
+    negative = true;
+    s = Trim(std::string_view(s).substr(1, s.size() - 2));
+    if (s.empty()) return std::nullopt;
+  }
+  // Currency prefixes.
+  for (std::string_view prefix : {"US$", "USD", "$", "€", "£", "¥"}) {
+    if (StartsWith(s, prefix)) {
+      s = Trim(std::string_view(s).substr(prefix.size()));
+      break;
+    }
+  }
+  if (s.empty()) return std::nullopt;
+  // Percent suffix (value kept in percent units, as in FinQA tables).
+  if (s.back() == '%') {
+    s = Trim(std::string_view(s).substr(0, s.size() - 1));
+    if (s.empty()) return std::nullopt;
+  }
+  // Strip thousands separators, validating that commas sit between digits.
+  std::string cleaned;
+  cleaned.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == ',') {
+      bool digit_before =
+          i > 0 && std::isdigit(static_cast<unsigned char>(s[i - 1]));
+      bool digit_after = i + 1 < s.size() &&
+                         std::isdigit(static_cast<unsigned char>(s[i + 1]));
+      if (!digit_before || !digit_after) return std::nullopt;
+      continue;
+    }
+    cleaned.push_back(s[i]);
+  }
+  if (cleaned.empty()) return std::nullopt;
+
+  char* end = nullptr;
+  errno = 0;
+  double value = std::strtod(cleaned.c_str(), &end);
+  if (end != cleaned.c_str() + cleaned.size() || errno == ERANGE) {
+    return std::nullopt;
+  }
+  return negative ? -value : value;
+}
+
+bool LooksNumeric(std::string_view text) {
+  return ParseNumber(text).has_value();
+}
+
+std::string FormatNumber(double value, int max_decimals) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  double rounded = std::round(value);
+  if (NearlyEqual(value, rounded, 1e-9, 1e-12) &&
+      std::abs(rounded) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", rounded);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", max_decimals, value);
+  std::string out = buf;
+  // Strip trailing zeros (but keep at least one decimal digit).
+  size_t dot = out.find('.');
+  if (dot != std::string::npos) {
+    size_t last = out.find_last_not_of('0');
+    if (last == dot) last = dot - 1;  // drop the dot too
+    out.erase(last + 1);
+  }
+  return out;
+}
+
+bool NearlyEqual(double a, double b, double abs_tol, double rel_tol) {
+  double diff = std::abs(a - b);
+  if (diff <= abs_tol) return true;
+  double scale = std::max(std::abs(a), std::abs(b));
+  return diff <= rel_tol * scale;
+}
+
+}  // namespace uctr

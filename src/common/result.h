@@ -1,0 +1,94 @@
+#ifndef UCTR_COMMON_RESULT_H_
+#define UCTR_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace uctr {
+
+/// \brief Either a value of type T or a non-OK Status, Arrow-style.
+///
+/// Usage:
+/// \code
+///   Result<Table> r = Table::FromCsv(text);
+///   if (!r.ok()) return r.status();
+///   Table t = std::move(r).ValueOrDie();
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the success path reads naturally).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error Status. Constructing from an OK
+  /// status is an internal error captured as such.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// \brief The error, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return std::get<T>(repr_);
+  }
+  T ValueOrDie() && {
+    DieIfError();
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// \brief The held value, or `fallback` on error.
+  T ValueOr(T fallback) const {
+    if (ok()) return std::get<T>(repr_);
+    return fallback;
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) {
+      std::cerr << "Result::ValueOrDie on error: " << status().ToString()
+                << std::endl;
+      std::abort();
+    }
+  }
+
+  std::variant<Status, T> repr_;
+};
+
+/// \brief Assigns the value of a Result expression to `lhs`, or returns its
+/// Status from the enclosing function.
+#define UCTR_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define UCTR_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define UCTR_ASSIGN_OR_RETURN_CONCAT(x, y) UCTR_ASSIGN_OR_RETURN_CONCAT_(x, y)
+
+#define UCTR_ASSIGN_OR_RETURN(lhs, expr) \
+  UCTR_ASSIGN_OR_RETURN_IMPL(            \
+      UCTR_ASSIGN_OR_RETURN_CONCAT(_uctr_result_, __LINE__), lhs, expr)
+
+}  // namespace uctr
+
+#endif  // UCTR_COMMON_RESULT_H_

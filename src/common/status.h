@@ -1,0 +1,94 @@
+#ifndef UCTR_COMMON_STATUS_H_
+#define UCTR_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace uctr {
+
+/// \brief Error category carried by a Status.
+///
+/// Mirrors the Arrow/RocksDB convention: library code never throws across
+/// a public API boundary; failures travel as Status / Result<T> values.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  ///< Caller passed something malformed.
+  kParseError,       ///< A program / table / expression failed to parse.
+  kTypeError,        ///< An operation was applied to a value of the wrong type.
+  kNotFound,         ///< A column, row, or key does not exist.
+  kOutOfRange,       ///< An index or ordinal is outside the valid range.
+  kExecutionError,   ///< A well-formed program failed while executing.
+  kEmptyResult,      ///< Execution produced an empty result (paper: discard).
+  kInternal,         ///< Invariant violation inside the library.
+};
+
+/// \brief Returns a stable human-readable name for a code ("ParseError").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: a code plus a context message.
+///
+/// The default-constructed Status is OK. Statuses are cheap to copy for the
+/// OK case and carry a heap string otherwise, like most database codebases.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status EmptyResult(std::string msg) {
+    return Status(StatusCode::kEmptyResult, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// \brief Propagates a non-OK Status out of the enclosing function.
+#define UCTR_RETURN_NOT_OK(expr)           \
+  do {                                     \
+    ::uctr::Status _st = (expr);           \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+}  // namespace uctr
+
+#endif  // UCTR_COMMON_STATUS_H_

@@ -1,0 +1,75 @@
+#ifndef UCTR_DATASETS_BENCHMARK_H_
+#define UCTR_DATASETS_BENCHMARK_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "datasets/corpus.h"
+#include "gen/generator.h"
+
+namespace uctr::datasets {
+
+/// \brief Size knobs shared by all benchmark simulators. The defaults run
+/// a full experiment in seconds; benches scale them up.
+struct BenchmarkScale {
+  size_t unlabeled_tables = 30;       ///< corpus for UCTR generation
+  size_t gold_train_tables = 24;      ///< "human-annotated" training tables
+  size_t eval_tables = 16;            ///< dev+test tables (split in half)
+  size_t gold_samples_per_table = 6;
+  size_t eval_samples_per_table = 6;
+};
+
+/// \brief A simulated benchmark: the unlabeled resources (for unsupervised
+/// generation) plus gold train/dev/test sets in the style of one of the
+/// paper's four datasets. Gold sentences are produced with a heavier,
+/// "human-like" paraphrase profile than the synthetic pipeline uses, and
+/// gold tables are disjoint from the unlabeled corpus — the distribution
+/// gap that makes supervised > unsupervised, as in the paper.
+struct Benchmark {
+  std::string name;
+  TaskType task = TaskType::kQuestionAnswering;
+  int num_classes = 2;  ///< fact verification only
+  Domain domain = Domain::kWikipedia;
+  std::vector<ProgramType> program_types;
+  bool hybrid = true;  ///< whether evidence mixes tables and text
+
+  std::vector<TableWithText> unlabeled;
+  Dataset gold_train;
+  Dataset gold_dev;
+  Dataset gold_test;
+};
+
+/// \brief The "human annotator" NL profile used for gold data.
+nlgen::NlGeneratorConfig HumanNlProfile();
+
+/// \brief The annotators' lexicon: the default phrase bank extended with
+/// human-only wordings. Gold sentences therefore contain vocabulary the
+/// synthetic pipeline never produces — part of the distribution gap
+/// between gold and synthetic data.
+const nlgen::Lexicon& HumanLexicon();
+
+/// \brief The synthetic-pipeline NL profile used for UCTR data.
+nlgen::NlGeneratorConfig SyntheticNlProfile();
+
+/// FEVEROUS-sim: Wikipedia fact verification over table+text evidence,
+/// Supported/Refuted (the paper drops NEI on FEVEROUS).
+Benchmark MakeFeverousSim(const BenchmarkScale& scale, Rng* rng);
+
+/// TAT-QA-sim: financial QA over hybrid evidence, SQL + arithmetic.
+Benchmark MakeTatQaSim(const BenchmarkScale& scale, Rng* rng);
+
+/// WiKiSQL-sim: Wikipedia QA over tables only, SQL programs.
+Benchmark MakeWikiSqlSim(const BenchmarkScale& scale, Rng* rng);
+
+/// SEM-TAB-FACTS-sim: scientific fact verification, 3-way
+/// (Supported/Refuted/Unknown), low-resource.
+Benchmark MakeSemTabFactsSim(const BenchmarkScale& scale, Rng* rng);
+
+/// TABFACT-sim: large general-domain fact verification used as the source
+/// dataset of the TAPAS-Transfer baseline (2-way, table-only).
+Benchmark MakeTabFactSim(const BenchmarkScale& scale, Rng* rng);
+
+}  // namespace uctr::datasets
+
+#endif  // UCTR_DATASETS_BENCHMARK_H_

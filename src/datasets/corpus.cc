@@ -1,0 +1,160 @@
+#include "datasets/corpus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/numeric.h"
+#include "common/string_util.h"
+
+namespace uctr::datasets {
+
+namespace {
+
+/// "1234567.5" -> "1,234,567.5".
+std::string WithThousandsSeparators(const std::string& digits) {
+  size_t dot = digits.find('.');
+  std::string integral =
+      dot == std::string::npos ? digits : digits.substr(0, dot);
+  std::string fraction = dot == std::string::npos ? "" : digits.substr(dot);
+  bool negative = !integral.empty() && integral[0] == '-';
+  if (negative) integral = integral.substr(1);
+  std::string grouped;
+  for (size_t i = 0; i < integral.size(); ++i) {
+    if (i > 0 && (integral.size() - i) % 3 == 0) grouped += ',';
+    grouped += integral[i];
+  }
+  return (negative ? "-" : "") + grouped + fraction;
+}
+
+}  // namespace
+
+CorpusGenerator::CorpusGenerator(CorpusConfig config, Rng* rng)
+    : config_(std::move(config)), rng_(rng) {}
+
+std::string CorpusGenerator::RenderNumber(const Topic::NumericColumn& column,
+                                          double value) const {
+  std::string body;
+  if (column.integral) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", std::round(value));
+    body = buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", value);
+    body = buf;
+  }
+  if (column.money) {
+    return "$" + WithThousandsSeparators(body);
+  }
+  return body;
+}
+
+TableWithText CorpusGenerator::GenerateOne(const Topic& topic,
+                                           size_t table_index) {
+  // Choose columns.
+  size_t num_numeric = static_cast<size_t>(rng_->UniformInt(
+      static_cast<int64_t>(config_.min_numeric_cols),
+      static_cast<int64_t>(std::min(config_.max_numeric_cols,
+                                    topic.numeric_columns.size()))));
+  std::vector<size_t> numeric_cols =
+      rng_->SampleIndices(topic.numeric_columns.size(), num_numeric);
+  bool with_category = config_.include_category_column &&
+                       !topic.category_values.empty() &&
+                       rng_->Bernoulli(0.5);
+
+  std::vector<std::string> header = {topic.entity_header};
+  for (size_t c : numeric_cols) {
+    header.push_back(topic.numeric_columns[c].header);
+  }
+  if (with_category) header.push_back(topic.category_header);
+
+  // Choose rows: one extra entity is withheld for the paragraph.
+  size_t num_rows = static_cast<size_t>(
+      rng_->UniformInt(static_cast<int64_t>(config_.min_rows),
+                       static_cast<int64_t>(config_.max_rows)));
+  num_rows = std::min(num_rows, topic.entities.size() - 1);
+  std::vector<size_t> entity_idx =
+      rng_->SampleIndices(topic.entities.size(), num_rows + 1);
+  size_t hidden_entity = entity_idx.back();
+  entity_idx.pop_back();
+
+  auto render_cell = [&](size_t numeric_col) {
+    const auto& spec = topic.numeric_columns[numeric_col];
+    return RenderNumber(spec, rng_->UniformDouble(spec.lo, spec.hi));
+  };
+
+  std::vector<std::vector<std::string>> rows;
+  for (size_t e : entity_idx) {
+    std::vector<std::string> row = {topic.entities[e]};
+    for (size_t c : numeric_cols) row.push_back(render_cell(c));
+    if (with_category) {
+      row.push_back(topic.category_values[rng_->Index(
+          topic.category_values.size())]);
+    }
+    rows.push_back(std::move(row));
+  }
+
+  TableWithText out;
+  out.table = Table::FromStrings(header, rows,
+                                 topic.name + " #" +
+                                     std::to_string(table_index))
+                  .ValueOrDie();
+
+  if (config_.with_paragraphs) {
+    // Sentence 1: the withheld row, in the extractable DescribeEnt shape.
+    std::string hidden = "For the " + topic.entity_header + " " +
+                         topic.entities[hidden_entity] + ", ";
+    size_t mention = std::max<size_t>(2, numeric_cols.size() >= 2
+                                             ? numeric_cols.size() - 1
+                                             : numeric_cols.size());
+    for (size_t i = 0; i < std::min(mention, numeric_cols.size()); ++i) {
+      if (i > 0) {
+        hidden += (i + 1 == std::min(mention, numeric_cols.size()))
+                      ? " and "
+                      : ", ";
+      }
+      hidden += "the " + topic.numeric_columns[numeric_cols[i]].header +
+                " was " + render_cell(numeric_cols[i]);
+    }
+    hidden += ".";
+    out.paragraph.push_back(Capitalize(hidden));
+
+    // Sentence 2: redundant context about an existing row.
+    if (!rows.empty() && !numeric_cols.empty()) {
+      size_t r = rng_->Index(rows.size());
+      size_t c = rng_->Index(numeric_cols.size());
+      out.paragraph.push_back(Capitalize(
+          "the " + topic.numeric_columns[numeric_cols[c]].header + " of " +
+          rows[r][0] + " was " + rows[r][1 + c] + "."));
+    }
+
+    // Sentence 3: filler.
+    static const char* kFillers[] = {
+        "The figures were compiled at the end of the reporting period.",
+        "All values are shown in the units used by the source.",
+        "Totals may not add up exactly due to rounding.",
+        "The data covers the most recent complete season.",
+    };
+    out.paragraph.push_back(
+        kFillers[rng_->Index(std::size(kFillers))]);
+  }
+  return out;
+}
+
+std::vector<TableWithText> CorpusGenerator::Generate() {
+  const std::vector<Topic>& all_topics = TopicsFor(config_.domain);
+  std::vector<size_t> topics = config_.topic_indices;
+  if (topics.empty()) {
+    for (size_t i = 0; i < all_topics.size(); ++i) topics.push_back(i);
+  }
+  std::vector<TableWithText> out;
+  out.reserve(config_.num_tables);
+  for (size_t i = 0; i < config_.num_tables; ++i) {
+    const Topic& topic = all_topics[topics[i % topics.size()]];
+    out.push_back(GenerateOne(topic, i));
+  }
+  return out;
+}
+
+}  // namespace uctr::datasets

@@ -1,0 +1,55 @@
+#ifndef UCTR_DATASETS_CORPUS_H_
+#define UCTR_DATASETS_CORPUS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "datasets/vocab.h"
+#include "gen/generator.h"
+
+namespace uctr::datasets {
+
+/// \brief Parameters of a synthetic unlabeled corpus — the (table,
+/// paragraph) pairs the unsupervised setting starts from.
+struct CorpusConfig {
+  Domain domain = Domain::kWikipedia;
+  /// Topics to draw from; empty means all topics of the domain.
+  std::vector<size_t> topic_indices;
+  size_t num_tables = 20;
+  size_t min_rows = 4;
+  size_t max_rows = 9;
+  size_t min_numeric_cols = 2;
+  size_t max_numeric_cols = 4;
+  /// Add the topic's categorical column when it has one.
+  bool include_category_column = true;
+  /// Attach 2-3 surrounding-text sentences per table (one describes a row
+  /// withheld from the table, enabling Text-To-Table expansion).
+  bool with_paragraphs = true;
+};
+
+/// \brief Generates domain-realistic tables with surrounding text
+/// (the stand-in for crawled Wikipedia / financial-report / scientific
+/// tables; see DESIGN.md, "Substitutions").
+class CorpusGenerator {
+ public:
+  /// \param rng not owned.
+  CorpusGenerator(CorpusConfig config, Rng* rng);
+
+  /// \brief One table + paragraph from the given topic.
+  TableWithText GenerateOne(const Topic& topic, size_t table_index);
+
+  /// \brief A corpus of `num_tables` entries cycling over the configured
+  /// topics.
+  std::vector<TableWithText> Generate();
+
+ private:
+  std::string RenderNumber(const Topic::NumericColumn& column,
+                           double value) const;
+
+  CorpusConfig config_;
+  Rng* rng_;
+};
+
+}  // namespace uctr::datasets
+
+#endif  // UCTR_DATASETS_CORPUS_H_

@@ -1,0 +1,103 @@
+#include "datasets/retrieval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace uctr::datasets {
+
+EvidenceRetriever::EvidenceRetriever(const std::vector<TableWithText>& pool) {
+  // Document frequency pass.
+  std::map<std::string, size_t> doc_freq;
+  std::vector<std::vector<std::string>> token_bags;
+  token_bags.reserve(pool.size());
+  for (const TableWithText& entry : pool) {
+    std::string text = entry.table.Linearize();
+    for (const std::string& sentence : entry.paragraph) {
+      text += " " + sentence;
+    }
+    std::vector<std::string> tokens = WordTokens(text);
+    std::set<std::string> unique(tokens.begin(), tokens.end());
+    for (const std::string& t : unique) doc_freq[t]++;
+    token_bags.push_back(std::move(tokens));
+  }
+  double n = static_cast<double>(pool.size());
+  for (const auto& [token, df] : doc_freq) {
+    idf_[token] = std::log((n + 1.0) / (static_cast<double>(df) + 0.5));
+  }
+  for (const auto& bag : token_bags) {
+    documents_.push_back(Vectorize(bag));
+  }
+}
+
+std::map<std::string, double> EvidenceRetriever::Vectorize(
+    const std::vector<std::string>& tokens) const {
+  std::map<std::string, double> vec;
+  for (const std::string& t : tokens) {
+    auto it = idf_.find(t);
+    double idf = it == idf_.end() ? std::log(documents_.size() + 2.0) :
+                                    it->second;
+    vec[t] += idf;
+  }
+  double norm = 0;
+  for (const auto& [token, weight] : vec) norm += weight * weight;
+  norm = std::sqrt(norm);
+  if (norm > 0) {
+    for (auto& [token, weight] : vec) weight /= norm;
+  }
+  return vec;
+}
+
+std::vector<size_t> EvidenceRetriever::Retrieve(const std::string& claim,
+                                                size_t k) const {
+  std::map<std::string, double> query = Vectorize(WordTokens(claim));
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(documents_.size());
+  for (size_t d = 0; d < documents_.size(); ++d) {
+    double score = 0;
+    const auto& doc = documents_[d];
+    // Iterate the smaller map.
+    if (query.size() <= doc.size()) {
+      for (const auto& [token, weight] : query) {
+        auto it = doc.find(token);
+        if (it != doc.end()) score += weight * it->second;
+      }
+    } else {
+      for (const auto& [token, weight] : doc) {
+        auto it = query.find(token);
+        if (it != query.end()) score += weight * it->second;
+      }
+    }
+    scored.push_back({score, d});
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first > b.first;
+                   });
+  std::vector<size_t> out;
+  for (size_t i = 0; i < std::min(k, scored.size()); ++i) {
+    out.push_back(scored[i].second);
+  }
+  return out;
+}
+
+bool EvidenceRetriever::Hit(const std::string& claim, size_t gold_index,
+                            size_t k) const {
+  std::vector<size_t> top = Retrieve(claim, k);
+  return std::find(top.begin(), top.end(), gold_index) != top.end();
+}
+
+double EvidenceRetriever::RecallAtK(
+    const std::vector<std::pair<std::string, size_t>>& queries,
+    size_t k) const {
+  if (queries.empty()) return 0.0;
+  size_t hits = 0;
+  for (const auto& [claim, gold] : queries) {
+    if (Hit(claim, gold, k)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(queries.size());
+}
+
+}  // namespace uctr::datasets

@@ -1,0 +1,50 @@
+#ifndef UCTR_DATASETS_RETRIEVAL_H_
+#define UCTR_DATASETS_RETRIEVAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gen/generator.h"
+
+namespace uctr::datasets {
+
+/// \brief First-stage evidence retriever for the FEVEROUS pipeline.
+///
+/// The paper reuses the FEVEROUS baseline retriever unchanged and only
+/// studies the reasoning stage; this class provides the equivalent
+/// substrate over the simulated corpus: a TF-IDF bag-of-tokens retriever
+/// ranking evidence entries (table + surrounding text) for a claim. The
+/// FEVEROUS score then counts a prediction only when the gold evidence
+/// entry is retrieved in the top-k AND the predicted label is correct.
+class EvidenceRetriever {
+ public:
+  /// \brief Indexes a pool of evidence entries. Each entry's document is
+  /// its table linearization plus its paragraph sentences.
+  explicit EvidenceRetriever(const std::vector<TableWithText>& pool);
+
+  size_t pool_size() const { return documents_.size(); }
+
+  /// \brief Indices of the top-k pool entries for `claim`, best first.
+  std::vector<size_t> Retrieve(const std::string& claim, size_t k) const;
+
+  /// \brief True when `gold_index` appears in the top-k for `claim`.
+  bool Hit(const std::string& claim, size_t gold_index, size_t k) const;
+
+  /// \brief Mean recall@k over (claim, gold index) pairs.
+  double RecallAtK(
+      const std::vector<std::pair<std::string, size_t>>& queries,
+      size_t k) const;
+
+ private:
+  /// L2-normalized TF-IDF vector of a token bag.
+  std::map<std::string, double> Vectorize(
+      const std::vector<std::string>& tokens) const;
+
+  std::vector<std::map<std::string, double>> documents_;
+  std::map<std::string, double> idf_;
+};
+
+}  // namespace uctr::datasets
+
+#endif  // UCTR_DATASETS_RETRIEVAL_H_

@@ -1,0 +1,284 @@
+#include "datasets/vocab.h"
+
+namespace uctr::datasets {
+
+const char* DomainToString(Domain domain) {
+  switch (domain) {
+    case Domain::kWikipedia:
+      return "wikipedia";
+    case Domain::kFinance:
+      return "finance";
+    case Domain::kScience:
+      return "science";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::vector<Topic> BuildWikipediaTopics() {
+  std::vector<Topic> topics;
+  {
+    Topic t;
+    t.name = "olympic medals";
+    t.entity_header = "nation";
+    t.entities = {"united states", "china",   "japan",    "germany",
+                  "france",        "britain", "italy",    "australia",
+                  "canada",        "brazil",  "spain",    "netherlands",
+                  "south korea",   "kenya",   "jamaica",  "norway",
+                  "sweden",        "poland",  "hungary",  "cuba"};
+    t.numeric_columns = {{"gold", 0, 40, true, false},
+                         {"silver", 0, 40, true, false},
+                         {"bronze", 0, 40, true, false},
+                         {"total medals", 0, 120, true, false},
+                         {"athletes", 10, 600, true, false}};
+    t.category_header = "continent";
+    t.category_values = {"europe", "asia", "americas", "africa", "oceania"};
+    // Medal tables draw superlative / ordinal questions.
+    t.reasoning_weights = {{"superlative", 5.0}, {"aggregation", 2.0},
+                           {"count", 1.0},       {"span", 0.3},
+                           {"comparison", 0.3},  {"diff", 0.3},
+                           {"sum", 0.3},         {"conjunction", 0.2}};
+    topics.push_back(std::move(t));
+  }
+  {
+    Topic t;
+    t.name = "city statistics";
+    t.entity_header = "city";
+    t.entities = {"springfield", "riverton",  "lakeside",  "fairview",
+                  "greenville",  "bristol",   "clayton",   "madison",
+                  "georgetown",  "franklin",  "arlington", "salem",
+                  "dover",       "manchester", "oxford",   "burlington"};
+    t.numeric_columns = {{"population", 20000, 9000000, true, false},
+                         {"area km2", 10, 3000, true, false},
+                         {"elevation m", 0, 2500, true, false},
+                         {"founded year", 1620, 1920, true, false},
+                         {"districts", 2, 40, true, false}};
+    t.category_header = "region";
+    t.category_values = {"north", "south", "east", "west", "central"};
+    // City tables draw lookup / conjunction questions.
+    t.reasoning_weights = {{"span", 5.0},        {"conjunction", 2.0},
+                           {"comparison", 1.0},  {"superlative", 0.3},
+                           {"count", 0.3},       {"aggregation", 0.3},
+                           {"diff", 0.2},        {"sum", 0.2}};
+    topics.push_back(std::move(t));
+  }
+  {
+    Topic t;
+    t.name = "football clubs";
+    t.entity_header = "club";
+    t.entities = {"red star",   "blue rovers", "athletic union",
+                  "united fc",  "city fc",     "rangers",
+                  "wanderers",  "albion",      "dynamo",
+                  "real oceana", "sporting west", "north end",
+                  "hotspur",    "villa",       "county"};
+    t.numeric_columns = {{"wins", 0, 38, true, false},
+                         {"draws", 0, 20, true, false},
+                         {"losses", 0, 30, true, false},
+                         {"points", 0, 114, true, false},
+                         {"goals scored", 10, 120, true, false}};
+    t.category_header = "division";
+    t.category_values = {"premier", "championship", "league one",
+                         "league two"};
+    // League tables draw counting / arithmetic questions.
+    t.reasoning_weights = {{"count", 5.0},      {"diff", 2.0},
+                           {"sum", 2.0},        {"span", 0.3},
+                           {"superlative", 0.3}, {"aggregation", 0.3},
+                           {"comparison", 0.3}, {"conjunction", 0.2}};
+    topics.push_back(std::move(t));
+  }
+  {
+    Topic t;
+    t.name = "film awards";
+    t.entity_header = "film";
+    t.entities = {"the long road",  "silver dawn",   "midnight harbor",
+                  "paper lanterns", "autumn letters", "the quiet sea",
+                  "glass orchard",  "northern lights", "the last ferry",
+                  "cedar valley",   "iron meadow",   "golden hour"};
+    t.numeric_columns = {{"nominations", 1, 14, true, false},
+                         {"awards won", 0, 11, true, false},
+                         {"box office millions", 1, 900, true, false},
+                         {"runtime minutes", 80, 210, true, false},
+                         {"release year", 1970, 2022, true, false}};
+    t.category_header = "genre";
+    t.category_values = {"drama", "comedy", "thriller", "documentary",
+                         "animation"};
+    // Awards tables draw aggregation / comparison questions.
+    t.reasoning_weights = {{"aggregation", 5.0}, {"comparison", 2.0},
+                           {"span", 0.5},        {"superlative", 0.3},
+                           {"count", 0.3},       {"diff", 0.3},
+                           {"sum", 0.3},         {"conjunction", 0.2}};
+    topics.push_back(std::move(t));
+  }
+  {
+    Topic t;
+    t.name = "mountain peaks";
+    t.entity_header = "peak";
+    t.entities = {"mount aster",   "grey needle",   "storm horn",
+                  "eagle crest",   "silver spire",  "broken tooth",
+                  "hidden summit", "twin sisters",  "the sentinel",
+                  "frost dome",    "red pinnacle",  "cloud anvil"};
+    t.numeric_columns = {{"elevation m", 1800, 8800, true, false},
+                         {"prominence m", 100, 4000, true, false},
+                         {"first ascent year", 1850, 1990, true, false},
+                         {"ascents per year", 0, 600, true, false}};
+    t.category_header = "range";
+    t.category_values = {"northern range", "coastal range",
+                         "central massif", "high sierra"};
+    // Peak tables draw comparative / superlative questions.
+    t.reasoning_weights = {{"comparison", 4.0},  {"superlative", 3.0},
+                           {"span", 0.5},        {"count", 0.4},
+                           {"aggregation", 0.4}, {"diff", 0.4},
+                           {"sum", 0.2},         {"conjunction", 0.2}};
+    topics.push_back(std::move(t));
+  }
+  return topics;
+}
+
+std::vector<Topic> BuildFinanceTopics() {
+  std::vector<Topic> topics;
+  {
+    Topic t;
+    t.name = "income statement";
+    t.entity_header = "item";
+    t.entities = {"revenue",
+                  "cost of sales",
+                  "gross profit",
+                  "operating expenses",
+                  "research and development",
+                  "selling and marketing",
+                  "general and administrative",
+                  "operating income",
+                  "interest expense",
+                  "income tax expense",
+                  "net income",
+                  "depreciation and amortization"};
+    t.numeric_columns = {{"2021", 50, 9000, false, true},
+                         {"2020", 50, 9000, false, true},
+                         {"2019", 50, 9000, false, true},
+                         {"2018", 50, 9000, false, true}};
+    topics.push_back(std::move(t));
+  }
+  {
+    Topic t;
+    t.name = "balance sheet";
+    t.entity_header = "line item";
+    t.entities = {"cash and equivalents", "accounts receivable",
+                  "inventories",          "total current assets",
+                  "property and equipment", "goodwill",
+                  "total assets",         "accounts payable",
+                  "accrued liabilities",  "long-term debt",
+                  "total liabilities",    "stockholders' equity"};
+    t.numeric_columns = {{"fy2021", 100, 20000, false, true},
+                         {"fy2020", 100, 20000, false, true},
+                         {"fy2019", 100, 20000, false, true}};
+    topics.push_back(std::move(t));
+  }
+  {
+    Topic t;
+    t.name = "segment results";
+    t.entity_header = "segment";
+    t.entities = {"north america", "europe",        "asia pacific",
+                  "latin america", "cloud services", "hardware",
+                  "software licenses", "consulting", "subscriptions",
+                  "advertising"};
+    t.numeric_columns = {{"q1", 10, 4000, false, true},
+                         {"q2", 10, 4000, false, true},
+                         {"q3", 10, 4000, false, true},
+                         {"q4", 10, 4000, false, true}};
+    topics.push_back(std::move(t));
+  }
+  {
+    Topic t;
+    t.name = "cash flow statement";
+    t.entity_header = "activity";
+    t.entities = {"net cash from operations",  "capital expenditures",
+                  "acquisitions",              "share repurchases",
+                  "dividends paid",            "debt issuance",
+                  "debt repayment",            "proceeds from asset sales",
+                  "free cash flow",            "net change in cash"};
+    t.numeric_columns = {{"2022", 20, 7000, false, true},
+                         {"2021", 20, 7000, false, true},
+                         {"2020", 20, 7000, false, true}};
+    topics.push_back(std::move(t));
+  }
+  return topics;
+}
+
+std::vector<Topic> BuildScienceTopics() {
+  std::vector<Topic> topics;
+  {
+    Topic t;
+    t.name = "compound properties";
+    t.entity_header = "compound";
+    t.entities = {"methanol",  "ethanol",   "propanol", "butanol",
+                  "acetone",   "benzene",   "toluene",  "xylene",
+                  "glycerol",  "hexane",    "pentane",  "octane"};
+    t.numeric_columns = {{"melting point", -150, 100, false, false},
+                         {"boiling point", 30, 300, false, false},
+                         {"density", 0.6, 1.5, false, false},
+                         {"molar mass", 30, 200, false, false}};
+    topics.push_back(std::move(t));
+  }
+  {
+    Topic t;
+    t.name = "model benchmarks";
+    t.entity_header = "method";
+    t.entities = {"baseline",   "bert-base",  "bert-large", "roberta",
+                  "tapas",      "tapex",      "tagop",      "grappa",
+                  "our method", "gpt-2",      "bart",       "t5-base"};
+    t.numeric_columns = {{"accuracy", 40, 95, false, false},
+                         {"f1 score", 35, 93, false, false},
+                         {"precision", 40, 96, false, false},
+                         {"recall", 35, 94, false, false},
+                         {"parameters millions", 10, 1500, true, false}};
+    topics.push_back(std::move(t));
+  }
+  {
+    Topic t;
+    t.name = "clinical trials";
+    t.entity_header = "cohort";
+    t.entities = {"placebo",     "treatment a", "treatment b",
+                  "low dose",    "high dose",   "control",
+                  "elderly group", "adult group", "pediatric group"};
+    t.numeric_columns = {{"participants", 20, 800, true, false},
+                         {"response rate", 5, 90, false, false},
+                         {"adverse events", 0, 60, true, false},
+                         {"dropout rate", 0, 35, false, false}};
+    topics.push_back(std::move(t));
+  }
+  {
+    Topic t;
+    t.name = "materials testing";
+    t.entity_header = "material";
+    t.entities = {"aluminum alloy", "carbon steel",  "titanium grade 5",
+                  "pla plastic",    "abs plastic",   "oak wood",
+                  "tempered glass", "carbon fiber",  "copper",
+                  "stainless steel"};
+    t.numeric_columns = {{"tensile strength mpa", 20, 1200, true, false},
+                         {"hardness hv", 5, 900, true, false},
+                         {"density g cm3", 0.9, 9.0, false, false},
+                         {"elastic modulus gpa", 2, 400, true, false}};
+    topics.push_back(std::move(t));
+  }
+  return topics;
+}
+
+}  // namespace
+
+const std::vector<Topic>& TopicsFor(Domain domain) {
+  static const auto& wiki = *new std::vector<Topic>(BuildWikipediaTopics());
+  static const auto& finance = *new std::vector<Topic>(BuildFinanceTopics());
+  static const auto& science = *new std::vector<Topic>(BuildScienceTopics());
+  switch (domain) {
+    case Domain::kWikipedia:
+      return wiki;
+    case Domain::kFinance:
+      return finance;
+    case Domain::kScience:
+      return science;
+  }
+  return wiki;
+}
+
+}  // namespace uctr::datasets

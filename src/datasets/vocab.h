@@ -1,0 +1,57 @@
+#ifndef UCTR_DATASETS_VOCAB_H_
+#define UCTR_DATASETS_VOCAB_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace uctr::datasets {
+
+/// \brief The three corpus domains of the paper's benchmarks.
+enum class Domain {
+  kWikipedia = 0,  ///< FEVEROUS / WiKiSQL (general domain)
+  kFinance,        ///< TAT-QA (financial reports)
+  kScience,        ///< SEM-TAB-FACTS (scientific articles)
+};
+
+const char* DomainToString(Domain domain);
+
+/// \brief A schema family within a domain — the unit of "topic" used for
+/// the Figure-1 topic-transfer experiment. Tables of the same topic share
+/// header vocabulary and entity pools; different topics are disjoint.
+struct Topic {
+  std::string name;
+  /// Header of the entity (first) column.
+  std::string entity_header;
+  /// Pool of entity names for the first column.
+  std::vector<std::string> entities;
+  /// Candidate numeric column headers with value ranges.
+  struct NumericColumn {
+    std::string header;
+    double lo = 0;
+    double hi = 100;
+    bool integral = true;
+    /// Rendered with a currency prefix ("$1,234.5") — finance tables.
+    bool money = false;
+  };
+  std::vector<NumericColumn> numeric_columns;
+  /// Optional categorical column (header + value pool).
+  std::string category_header;
+  std::vector<std::string> category_values;
+
+  /// Reasoning-type mix of questions people ask about this table kind
+  /// (sports tables draw superlatives, city tables draw lookups, ...).
+  /// Empty means uniform. Drives the Figure-1 topic-transfer experiment:
+  /// a model tuned to one topic's question mix degrades on another's.
+  std::map<std::string, double> reasoning_weights;
+};
+
+/// \brief Built-in topics per domain (at least three per domain, so
+/// transfer experiments have held-out topics).
+const std::vector<Topic>& TopicsFor(Domain domain);
+
+}  // namespace uctr::datasets
+
+#endif  // UCTR_DATASETS_VOCAB_H_

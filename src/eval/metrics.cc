@@ -1,0 +1,98 @@
+#include "eval/metrics.h"
+
+#include "common/numeric.h"
+#include "common/string_util.h"
+#include "table/value.h"
+
+namespace uctr::eval {
+
+double LabelAccuracy(const std::vector<Label>& predictions,
+                     const std::vector<Label>& gold) {
+  if (gold.empty() || predictions.size() != gold.size()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < gold.size(); ++i) {
+    if (predictions[i] == gold[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(gold.size());
+}
+
+bool ExactMatch(const std::string& predicted, const std::string& gold) {
+  if (predicted.empty() || gold.empty()) {
+    return predicted.empty() && gold.empty();
+  }
+  Value a = Value::FromText(predicted);
+  Value b = Value::FromText(gold);
+  if (a.Equals(b)) return true;
+  auto na = a.ToNumber();
+  auto nb = b.ToNumber();
+  if (na.ok() && nb.ok()) {
+    double x = na.ValueOrDie();
+    double y = nb.ValueOrDie();
+    return NearlyEqual(x * 100.0, y, 1e-6, 1e-6) ||
+           NearlyEqual(x, y * 100.0, 1e-6, 1e-6);
+  }
+  return EqualsIgnoreCase(Trim(predicted), Trim(gold));
+}
+
+double NumeracyF1(const std::string& predicted, const std::string& gold) {
+  Value a = Value::FromText(predicted);
+  Value b = Value::FromText(gold);
+  // Any numeric side makes the comparison all-or-nothing.
+  if (a.is_number() || b.is_number()) {
+    return ExactMatch(predicted, gold) ? 1.0 : 0.0;
+  }
+  if (ExactMatch(predicted, gold)) return 1.0;
+  return TokenF1(predicted, gold);
+}
+
+EmF1 AnswerEmF1(const std::vector<std::string>& predictions,
+                const std::vector<std::string>& gold) {
+  EmF1 out;
+  if (gold.empty() || predictions.size() != gold.size()) return out;
+  for (size_t i = 0; i < gold.size(); ++i) {
+    out.em += ExactMatch(predictions[i], gold[i]) ? 1.0 : 0.0;
+    out.f1 += NumeracyF1(predictions[i], gold[i]);
+  }
+  out.em /= static_cast<double>(gold.size());
+  out.f1 /= static_cast<double>(gold.size());
+  return out;
+}
+
+double DenotationAccuracy(const std::vector<std::string>& predictions,
+                          const std::vector<std::string>& gold) {
+  if (gold.empty() || predictions.size() != gold.size()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < gold.size(); ++i) {
+    if (ExactMatch(predictions[i], gold[i])) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(gold.size());
+}
+
+double ThreeWayMicroF1(const std::vector<Label>& predictions,
+                       const std::vector<Label>& gold) {
+  // Micro-F1 over single-label predictions: TP summed over classes equals
+  // the number of correct predictions, and FP == FN, so micro-P == micro-R
+  // == accuracy.
+  return LabelAccuracy(predictions, gold);
+}
+
+double FeverousScore(const std::vector<bool>& label_correct,
+                     double retriever_recall, Rng* rng) {
+  if (label_correct.empty()) return 0.0;
+  size_t right = 0;
+  for (bool correct : label_correct) {
+    if (correct) ++right;
+  }
+  double accuracy = static_cast<double>(right) /
+                    static_cast<double>(label_correct.size());
+  if (rng == nullptr) return retriever_recall * accuracy;
+  size_t scored = 0;
+  for (bool correct : label_correct) {
+    bool evidence_found = rng->Bernoulli(retriever_recall);
+    if (correct && evidence_found) ++scored;
+  }
+  return static_cast<double>(scored) /
+         static_cast<double>(label_correct.size());
+}
+
+}  // namespace uctr::eval

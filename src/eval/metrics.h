@@ -1,0 +1,57 @@
+#ifndef UCTR_EVAL_METRICS_H_
+#define UCTR_EVAL_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gen/sample.h"
+
+namespace uctr::eval {
+
+/// \brief Exact-match / F1 pair (TAT-QA protocol).
+struct EmF1 {
+  double em = 0.0;
+  double f1 = 0.0;
+};
+
+/// \brief Label accuracy (FEVEROUS protocol, reasoning stage).
+double LabelAccuracy(const std::vector<Label>& predictions,
+                     const std::vector<Label>& gold);
+
+/// \brief Numeric-tolerant exact match of one answer: numbers compare
+/// numerically (with the TAT-QA percent-scale 100x allowance), strings
+/// case-insensitively.
+bool ExactMatch(const std::string& predicted, const std::string& gold);
+
+/// \brief Numeracy-focused F1 of one answer [30]: numeric answers score
+/// all-or-nothing (a wrong number gets no partial credit); textual answers
+/// score bag-of-tokens F1.
+double NumeracyF1(const std::string& predicted, const std::string& gold);
+
+/// \brief Corpus-level EM / numeracy-F1 averages (TAT-QA protocol).
+EmF1 AnswerEmF1(const std::vector<std::string>& predictions,
+                const std::vector<std::string>& gold);
+
+/// \brief Denotation accuracy (WiKiSQL protocol): ExactMatch rate.
+double DenotationAccuracy(const std::vector<std::string>& predictions,
+                          const std::vector<std::string>& gold);
+
+/// \brief Micro-averaged F1 over single-label 3-way predictions
+/// (SEM-TAB-FACTS protocol). For single-label classification this equals
+/// accuracy; kept under its paper name for the harness output.
+double ThreeWayMicroF1(const std::vector<Label>& predictions,
+                       const std::vector<Label>& gold);
+
+/// \brief FEVEROUS score: a prediction counts only when the retrieved
+/// evidence set is correct AND the label is correct. The retrieval stage
+/// (out of the paper's scope too — they reuse the baseline retriever) is
+/// simulated as a Bernoulli(recall) success per sample; passing a null
+/// `rng` returns the expectation (recall x label accuracy) instead of a
+/// sampled score.
+double FeverousScore(const std::vector<bool>& label_correct,
+                     double retriever_recall, Rng* rng);
+
+}  // namespace uctr::eval
+
+#endif  // UCTR_EVAL_METRICS_H_

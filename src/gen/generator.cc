@@ -1,0 +1,204 @@
+#include "gen/generator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace uctr {
+
+Generator::Generator(GenerationConfig config, const TemplateLibrary* library,
+                     Rng* rng)
+    : config_(std::move(config)),
+      library_(library),
+      rng_(rng),
+      sampler_(rng),
+      nl_generator_(config_.nl, config_.lexicon != nullptr
+                                    ? config_.lexicon
+                                    : &nlgen::Lexicon::Default()) {
+  for (ProgramType type : config_.program_types) {
+    for (auto& tmpl : library_->OfType(type)) {
+      auto it = config_.reasoning_weights.find(tmpl.reasoning_type);
+      template_weights_.push_back(
+          it == config_.reasoning_weights.end() ? 1.0 : it->second);
+      active_templates_.push_back(std::move(tmpl));
+    }
+  }
+}
+
+Result<SampledProgram> Generator::SampleProgram(const Table& table,
+                                                const ProgramTemplate& tmpl) {
+  if (config_.task == TaskType::kFactVerification) {
+    if (tmpl.type != ProgramType::kLogicalForm) {
+      return Status::InvalidArgument(
+          "fact verification requires logical-form templates");
+    }
+    bool target_true = rng_->Bernoulli(config_.supported_fraction);
+    return sampler_.SampleClaim(tmpl, table, target_true);
+  }
+  if (tmpl.type == ProgramType::kLogicalForm) {
+    return Status::InvalidArgument(
+        "question answering uses SQL / arithmetic programs");
+  }
+  return sampler_.Sample(tmpl, table);
+}
+
+Result<Sample> Generator::TryGenerate(const TableWithText& input) {
+  if (active_templates_.empty()) {
+    return Status::InvalidArgument("no templates for configured task");
+  }
+  const ProgramTemplate& tmpl =
+      active_templates_[rng_->WeightedIndex(template_weights_)];
+
+  // Choose the pipeline for this sample up front (Figure 3): plain
+  // table-only generation, table splitting, or table expansion.
+  bool want_hybrid = rng_->Bernoulli(config_.hybrid_fraction);
+  bool can_expand =
+      config_.use_text_to_table && !input.paragraph.empty();
+  bool can_split =
+      config_.use_table_to_text && input.table.num_rows() >= 2;
+
+  // --- Table expansion: integrate text into the table, then program it.
+  if (want_hybrid && can_expand && (rng_->Bernoulli(0.5) || !can_split)) {
+    UCTR_ASSIGN_OR_RETURN(
+        hybrid::ExtractedRecord record,
+        text_to_table_.ExtractRecord(input.table, input.paragraph));
+    bool merged = input.table.RowIndexByName(record.row_name).ok();
+    UCTR_ASSIGN_OR_RETURN(Table expanded,
+                          text_to_table_.Expand(input.table, record));
+    size_t new_row = merged
+                         ? expanded.RowIndexByName(record.row_name)
+                               .ValueOr(expanded.num_rows() - 1)
+                         : expanded.num_rows() - 1;
+    UCTR_ASSIGN_OR_RETURN(SampledProgram sp, SampleProgram(expanded, tmpl));
+    // The sample must actually need the textual evidence.
+    if (std::find(sp.result.evidence_rows.begin(),
+                  sp.result.evidence_rows.end(),
+                  new_row) == sp.result.evidence_rows.end()) {
+      return Status::EmptyResult(
+          "expanded row not involved in the reasoning");
+    }
+    UCTR_ASSIGN_OR_RETURN(std::string sentence,
+                          nl_generator_.Generate(sp.program, rng_));
+    Sample sample;
+    sample.task = config_.task;
+    sample.table = input.table;       // original table...
+    sample.paragraph = input.paragraph;  // ...plus original text (Alg. 1)
+    sample.sentence = std::move(sentence);
+    sample.program = sp.program;
+    sample.reasoning_type = sp.reasoning_type;
+    sample.source = EvidenceSource::kTableExpand;
+    sample.evidence_rows = sp.result.evidence_rows;
+    sample.answer_values = sp.result.values;
+    sample.answer = sp.result.ToDisplayString();
+    if (config_.task == TaskType::kFactVerification) {
+      sample.label = sp.result.scalar().boolean() ? Label::kSupported
+                                                  : Label::kRefuted;
+    }
+    return sample;
+  }
+
+  // --- Program over the full table (shared by table-only and splitting).
+  UCTR_ASSIGN_OR_RETURN(SampledProgram sp, SampleProgram(input.table, tmpl));
+  UCTR_ASSIGN_OR_RETURN(std::string sentence,
+                        nl_generator_.Generate(sp.program, rng_));
+
+  Sample sample;
+  sample.task = config_.task;
+  sample.sentence = std::move(sentence);
+  sample.program = sp.program;
+  sample.reasoning_type = sp.reasoning_type;
+  sample.evidence_rows = sp.result.evidence_rows;
+  sample.answer_values = sp.result.values;
+  sample.answer = sp.result.ToDisplayString();
+  if (config_.task == TaskType::kFactVerification) {
+    sample.label = sp.result.scalar().boolean() ? Label::kSupported
+                                                : Label::kRefuted;
+  }
+
+  // --- Table splitting: move one evidence row into a generated sentence.
+  if (want_hybrid && can_split && !sp.result.evidence_rows.empty() &&
+      sp.result.evidence_rows.size() < input.table.num_rows()) {
+    auto split = table_to_text_.ApplyToEvidence(
+        input.table, sp.result.evidence_rows, rng_);
+    if (split.ok()) {
+      sample.table = split->sub_table;
+      sample.paragraph = {split->sentence};
+      // If the program's entire evidence was the split row, the sample is
+      // answerable from the text alone ("Text" bucket of Table III);
+      // otherwise it genuinely needs both modalities.
+      bool all_evidence_in_text = sp.result.evidence_rows.size() == 1 &&
+                                  sp.result.evidence_rows[0] ==
+                                      split->source_row;
+      sample.source = all_evidence_in_text ? EvidenceSource::kTextOnly
+                                           : EvidenceSource::kTableSplit;
+      return sample;
+    }
+  }
+
+  sample.table = input.table;
+  sample.paragraph = input.paragraph;
+  sample.source = EvidenceSource::kTableOnly;
+  return sample;
+}
+
+std::vector<Sample> Generator::GenerateFromTable(const TableWithText& input) {
+  std::vector<Sample> out;
+  std::set<std::string> seen_sentences;
+  for (size_t i = 0; i < config_.samples_per_table; ++i) {
+    for (size_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
+      Result<Sample> r = TryGenerate(input);
+      if (!r.ok()) continue;
+      if (!seen_sentences.insert(r->sentence).second) continue;  // dup
+      out.push_back(std::move(r).ValueOrDie());
+      break;
+    }
+  }
+  return out;
+}
+
+void AppendUnknownSamples(const std::vector<TableWithText>& corpus,
+                          double fraction, Rng* rng, Dataset* dataset) {
+  if (fraction <= 0 || corpus.size() < 2 || dataset->samples.empty()) {
+    return;
+  }
+  size_t base = dataset->samples.size();
+  size_t want = static_cast<size_t>(static_cast<double>(base) * fraction);
+  for (size_t i = 0; i < want; ++i) {
+    const Sample& donor = dataset->samples[rng->Index(base)];
+    if (donor.task != TaskType::kFactVerification) continue;
+    const TableWithText& other = corpus[rng->Index(corpus.size())];
+    // The swapped-in table must come from a different schema family:
+    // a same-topic table would often make the claim merely false
+    // (Refuted) rather than unverifiable (Unknown).
+    if (other.table.name() == donor.table.name()) continue;
+    if (donor.table.num_columns() > 0 && other.table.num_columns() > 0 &&
+        EqualsIgnoreCase(other.table.schema().column(0).name,
+                         donor.table.schema().column(0).name)) {
+      continue;
+    }
+    Sample unknown = donor;
+    unknown.table = other.table;
+    unknown.paragraph = other.paragraph;
+    unknown.label = Label::kUnknown;
+    unknown.source = EvidenceSource::kTableOnly;
+    unknown.evidence_rows.clear();
+    dataset->samples.push_back(std::move(unknown));
+  }
+}
+
+Dataset Generator::GenerateDataset(const std::vector<TableWithText>& corpus) {
+  Dataset dataset;
+  for (const TableWithText& input : corpus) {
+    std::vector<Sample> generated = GenerateFromTable(input);
+    for (Sample& s : generated) dataset.samples.push_back(std::move(s));
+  }
+  // Unknown / NEI samples: pair a claim with an unrelated table so the
+  // evidence is insufficient (fact verification only).
+  if (config_.task == TaskType::kFactVerification) {
+    AppendUnknownSamples(corpus, config_.unknown_fraction, rng_, &dataset);
+  }
+  return dataset;
+}
+
+}  // namespace uctr

@@ -1,0 +1,51 @@
+#include "gen/parallel.h"
+
+#include <atomic>
+#include <thread>
+
+namespace uctr {
+
+Dataset GenerateDatasetParallel(const GenerationConfig& config,
+                                const TemplateLibrary* library,
+                                const std::vector<TableWithText>& corpus,
+                                uint64_t base_seed, size_t num_threads) {
+  std::vector<std::vector<Sample>> per_entry(corpus.size());
+  if (num_threads == 0) num_threads = 1;
+  num_threads = std::min(num_threads, std::max<size_t>(1, corpus.size()));
+
+  std::atomic<size_t> next_entry{0};
+  auto worker = [&] {
+    Rng rng;
+    while (true) {
+      size_t i = next_entry.fetch_add(1);
+      if (i >= corpus.size()) return;
+      // Per-entry seeding makes the output independent of the thread
+      // count and the order entries are claimed.
+      rng.Seed(base_seed + i);
+      Generator generator(config, library, &rng);
+      per_entry[i] = generator.GenerateFromTable(corpus[i]);
+    }
+  };
+
+  if (num_threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+    for (std::thread& t : threads) t.join();
+  }
+
+  Dataset dataset;
+  for (std::vector<Sample>& generated : per_entry) {
+    for (Sample& s : generated) dataset.samples.push_back(std::move(s));
+  }
+  if (config.task == TaskType::kFactVerification) {
+    Rng post_rng(base_seed ^ 0x9E37ULL);
+    AppendUnknownSamples(corpus, config.unknown_fraction, &post_rng,
+                         &dataset);
+  }
+  return dataset;
+}
+
+}  // namespace uctr

@@ -1,0 +1,29 @@
+#ifndef UCTR_GEN_PARALLEL_H_
+#define UCTR_GEN_PARALLEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/generator.h"
+#include "program/library.h"
+
+namespace uctr {
+
+/// \brief Multi-threaded corpus generation.
+///
+/// Each corpus entry is processed by a Generator seeded as
+/// `base_seed + entry_index`, so the output is bit-identical regardless of
+/// `num_threads` (including 1) — parallelism changes wall-clock time, not
+/// the dataset. Unknown-label evidence swaps, which need cross-table
+/// state, are applied once after the parallel phase using
+/// `base_seed ^ 0x9E37` as their seed.
+///
+/// \param library not owned; must outlive the call.
+Dataset GenerateDatasetParallel(const GenerationConfig& config,
+                                const TemplateLibrary* library,
+                                const std::vector<TableWithText>& corpus,
+                                uint64_t base_seed, size_t num_threads);
+
+}  // namespace uctr
+
+#endif  // UCTR_GEN_PARALLEL_H_

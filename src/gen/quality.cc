@@ -1,0 +1,82 @@
+#include "gen/quality.h"
+
+#include <cmath>
+#include <set>
+
+#include "common/numeric.h"
+#include "common/string_util.h"
+
+namespace uctr {
+
+QualityReport AnalyzeDataset(const Dataset& dataset) {
+  QualityReport report;
+  report.samples = dataset.size();
+  if (dataset.empty()) return report;
+
+  std::set<std::string> distinct_sentences;
+  std::set<std::string> word_types;
+  size_t total_tokens = 0;
+  size_t supported = 0, refuted = 0, fv = 0;
+  size_t hybrid = 0;
+
+  for (const Sample& s : dataset.samples) {
+    distinct_sentences.insert(s.sentence);
+    std::vector<std::string> tokens = WordTokens(s.sentence);
+    total_tokens += tokens.size();
+    for (std::string& t : tokens) word_types.insert(std::move(t));
+    if (!s.reasoning_type.empty()) {
+      report.reasoning_counts[s.reasoning_type]++;
+    }
+    if (s.task == TaskType::kFactVerification) {
+      ++fv;
+      if (s.label == Label::kSupported) ++supported;
+      if (s.label == Label::kRefuted) ++refuted;
+    }
+    if (s.source != EvidenceSource::kTableOnly) ++hybrid;
+  }
+
+  double n = static_cast<double>(dataset.size());
+  report.distinct_sentence_ratio = distinct_sentences.size() / n;
+  report.mean_sentence_tokens = static_cast<double>(total_tokens) / n;
+  report.type_token_ratio =
+      total_tokens == 0
+          ? 0.0
+          : static_cast<double>(word_types.size()) / total_tokens;
+  report.hybrid_fraction = hybrid / n;
+
+  size_t tagged = 0;
+  for (const auto& [tag, count] : report.reasoning_counts) tagged += count;
+  double entropy = 0.0;
+  for (const auto& [tag, count] : report.reasoning_counts) {
+    double p = static_cast<double>(count) / static_cast<double>(tagged);
+    entropy -= p * std::log2(p);
+  }
+  report.reasoning_entropy = entropy;
+
+  if (fv > 0) {
+    double ps = supported / static_cast<double>(fv);
+    double pr = refuted / static_cast<double>(fv);
+    report.label_balance = std::min(ps, pr) / 0.5;
+  }
+  return report;
+}
+
+std::string QualityReport::ToString() const {
+  std::string out;
+  out += "samples:                 " + std::to_string(samples) + "\n";
+  out += "distinct sentence ratio: " +
+         FormatNumber(distinct_sentence_ratio, 3) + "\n";
+  out += "mean sentence tokens:    " +
+         FormatNumber(mean_sentence_tokens, 1) + "\n";
+  out += "type/token ratio:        " + FormatNumber(type_token_ratio, 3) +
+         "\n";
+  out += "reasoning entropy:       " + FormatNumber(reasoning_entropy, 2) +
+         " bits over " + std::to_string(reasoning_counts.size()) +
+         " types\n";
+  out += "label balance:           " + FormatNumber(label_balance, 2) + "\n";
+  out += "hybrid evidence share:   " + FormatNumber(hybrid_fraction, 2) +
+         "\n";
+  return out;
+}
+
+}  // namespace uctr

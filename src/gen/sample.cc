@@ -1,0 +1,94 @@
+#include "gen/sample.h"
+
+#include <map>
+
+namespace uctr {
+
+const char* TaskTypeToString(TaskType task) {
+  switch (task) {
+    case TaskType::kFactVerification:
+      return "fact_verification";
+    case TaskType::kQuestionAnswering:
+      return "question_answering";
+  }
+  return "unknown";
+}
+
+const char* LabelToString(Label label) {
+  switch (label) {
+    case Label::kSupported:
+      return "Supported";
+    case Label::kRefuted:
+      return "Refuted";
+    case Label::kUnknown:
+      return "Unknown";
+  }
+  return "?";
+}
+
+const char* EvidenceSourceToString(EvidenceSource source) {
+  switch (source) {
+    case EvidenceSource::kTableOnly:
+      return "table_only";
+    case EvidenceSource::kTableSplit:
+      return "table_split";
+    case EvidenceSource::kTableExpand:
+      return "table_expand";
+    case EvidenceSource::kTextOnly:
+      return "text_only";
+  }
+  return "?";
+}
+
+size_t Dataset::CountLabel(Label label) const {
+  size_t n = 0;
+  for (const Sample& s : samples) {
+    if (s.task == TaskType::kFactVerification && s.label == label) ++n;
+  }
+  return n;
+}
+
+size_t Dataset::CountSource(EvidenceSource source) const {
+  size_t n = 0;
+  for (const Sample& s : samples) {
+    if (s.source == source) ++n;
+  }
+  return n;
+}
+
+size_t Dataset::CountReasoningType(const std::string& tag) const {
+  size_t n = 0;
+  for (const Sample& s : samples) {
+    if (s.reasoning_type == tag) ++n;
+  }
+  return n;
+}
+
+std::string Dataset::Summary() const {
+  std::string out = "samples: " + std::to_string(samples.size()) + "\n";
+  std::map<std::string, size_t> by_source, by_reasoning, by_label;
+  for (const Sample& s : samples) {
+    by_source[EvidenceSourceToString(s.source)]++;
+    if (!s.reasoning_type.empty()) by_reasoning[s.reasoning_type]++;
+    if (s.task == TaskType::kFactVerification) {
+      by_label[LabelToString(s.label)]++;
+    }
+  }
+  out += "by evidence source:\n";
+  for (const auto& [k, v] : by_source) {
+    out += "  " + k + ": " + std::to_string(v) + "\n";
+  }
+  if (!by_label.empty()) {
+    out += "by label:\n";
+    for (const auto& [k, v] : by_label) {
+      out += "  " + k + ": " + std::to_string(v) + "\n";
+    }
+  }
+  out += "by reasoning type:\n";
+  for (const auto& [k, v] : by_reasoning) {
+    out += "  " + k + ": " + std::to_string(v) + "\n";
+  }
+  return out;
+}
+
+}  // namespace uctr

@@ -1,0 +1,79 @@
+#ifndef UCTR_GEN_SAMPLE_H_
+#define UCTR_GEN_SAMPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "program/program.h"
+#include "table/table.h"
+
+namespace uctr {
+
+/// \brief The two tabular reasoning tasks of the paper (Section II-A).
+enum class TaskType {
+  kFactVerification = 0,
+  kQuestionAnswering,
+};
+
+const char* TaskTypeToString(TaskType task);
+
+/// \brief Gold label of a fact-verification sample.
+enum class Label {
+  kSupported = 0,
+  kRefuted,
+  kUnknown,
+};
+
+const char* LabelToString(Label label);
+
+/// \brief Provenance of a synthetic sample: which generation pipeline
+/// produced it (Figure 3).
+enum class EvidenceSource {
+  kTableOnly = 0,   ///< Homogeneous: table evidence only.
+  kTableSplit,      ///< Table splitting: sub-table + generated sentence.
+  kTableExpand,     ///< Table expansion: original table + original text.
+  kTextOnly,        ///< Degenerate: evidence entirely in text.
+};
+
+const char* EvidenceSourceToString(EvidenceSource source);
+
+/// \brief One reasoning instance (t, p, l) -> o: a table, its related
+/// text, a natural-language question or claim, and the gold output.
+/// Synthetic samples additionally carry the generating program and its
+/// evidence rows ("highlighted cells") for inspection and filtering.
+struct Sample {
+  TaskType task = TaskType::kQuestionAnswering;
+  Table table;
+  std::vector<std::string> paragraph;
+  std::string sentence;
+
+  // Gold output: label for fact verification, answer for QA.
+  Label label = Label::kSupported;
+  std::string answer;
+  std::vector<Value> answer_values;
+
+  // Synthetic provenance (empty program text for human-labeled samples).
+  Program program;
+  std::string reasoning_type;
+  EvidenceSource source = EvidenceSource::kTableOnly;
+  std::vector<size_t> evidence_rows;
+};
+
+/// \brief A set of samples plus summary statistics.
+struct Dataset {
+  std::vector<Sample> samples;
+
+  size_t size() const { return samples.size(); }
+  bool empty() const { return samples.empty(); }
+
+  size_t CountLabel(Label label) const;
+  size_t CountSource(EvidenceSource source) const;
+  size_t CountReasoningType(const std::string& tag) const;
+
+  /// \brief Multi-line human-readable statistics block (Table II style).
+  std::string Summary() const;
+};
+
+}  // namespace uctr
+
+#endif  // UCTR_GEN_SAMPLE_H_

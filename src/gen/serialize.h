@@ -1,0 +1,34 @@
+#ifndef UCTR_GEN_SERIALIZE_H_
+#define UCTR_GEN_SERIALIZE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "gen/sample.h"
+
+namespace uctr {
+
+/// \brief Escapes and quotes a string as a JSON string literal.
+std::string JsonQuote(std::string_view text);
+
+/// \brief Serializes one sample as a single-line JSON object with fields
+///   task, sentence, label/answer, table (CSV text), paragraph (array),
+///   program {type, text}, reasoning_type, source, evidence_rows.
+std::string SampleToJson(const Sample& sample);
+
+/// \brief Serializes a dataset as JSON Lines (one sample per line) — the
+/// interchange format for feeding the synthetic data to external trainers.
+std::string DatasetToJsonl(const Dataset& dataset);
+
+/// \brief Parses a sample back from SampleToJson output. Only the fields
+/// this library emits are supported (it is a data format, not a general
+/// JSON parser); unknown fields are rejected.
+Result<Sample> SampleFromJson(std::string_view json);
+
+/// \brief Parses JSON Lines produced by DatasetToJsonl.
+Result<Dataset> DatasetFromJsonl(std::string_view jsonl);
+
+}  // namespace uctr
+
+#endif  // UCTR_GEN_SERIALIZE_H_

@@ -1,0 +1,63 @@
+#ifndef UCTR_HYBRID_TABLE_TO_TEXT_H_
+#define UCTR_HYBRID_TABLE_TO_TEXT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "nlgen/lexicon.h"
+#include "table/table.h"
+
+namespace uctr::hybrid {
+
+/// \brief Output of the Table-To-Text operator (Equation 5):
+/// f(T) -> (T_sub, S). The selected row is removed from the table and its
+/// content re-expressed as one sentence.
+struct TableToTextResult {
+  Table sub_table;
+  std::string sentence;
+  size_t source_row = 0;
+};
+
+/// \brief The paper's Table-To-Text operator, following MQA-QG's
+/// DescribeEnt: renders one table row as a natural-language sentence and
+/// returns the remaining rows as a sub-table.
+///
+/// Includes the paper's filtering step: if any non-null cell of the row is
+/// missing from the generated sentence (information loss), the conversion
+/// is rejected with kEmptyResult so the pipeline can discard the sample.
+class TableToText {
+ public:
+  explicit TableToText(
+      const nlgen::Lexicon* lexicon = &nlgen::Lexicon::Default())
+      : lexicon_(lexicon) {}
+
+  /// \brief Converts row `row` of `table`. `rng` may be null for canonical
+  /// phrasing.
+  Result<TableToTextResult> Apply(const Table& table, size_t row,
+                                  Rng* rng) const;
+
+  /// \brief Picks one row out of `candidate_rows` (the program's evidence
+  /// rows — the paper selects a highlighted cell) and converts it.
+  Result<TableToTextResult> ApplyToEvidence(
+      const Table& table, const std::vector<size_t>& candidate_rows,
+      Rng* rng) const;
+
+  /// \brief The sentence for a row, without splitting the table.
+  Result<std::string> DescribeRow(const Table& table, size_t row,
+                                  Rng* rng) const;
+
+ private:
+  const nlgen::Lexicon* lexicon_;
+};
+
+/// \brief The information-preservation filter on its own: true when every
+/// non-null cell of `table` row `row` appears verbatim in `sentence`
+/// (case-insensitive).
+bool SentenceCoversRow(const Table& table, size_t row,
+                       const std::string& sentence);
+
+}  // namespace uctr::hybrid
+
+#endif  // UCTR_HYBRID_TABLE_TO_TEXT_H_

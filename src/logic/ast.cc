@@ -1,0 +1,24 @@
+#include "logic/ast.h"
+
+namespace uctr::logic {
+
+std::unique_ptr<Node> Node::Clone() const {
+  auto n = std::make_unique<Node>();
+  n->is_literal = is_literal;
+  n->name = name;
+  for (const auto& arg : args) n->args.push_back(arg->Clone());
+  return n;
+}
+
+std::string Node::ToString() const {
+  if (is_literal) return name;
+  std::string out = name + " {";
+  for (size_t i = 0; i < args.size(); ++i) {
+    out += (i == 0) ? " " : " ; ";
+    out += args[i]->ToString();
+  }
+  out += " }";
+  return out;
+}
+
+}  // namespace uctr::logic

@@ -1,0 +1,39 @@
+#ifndef UCTR_LOGIC_AST_H_
+#define UCTR_LOGIC_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace uctr::logic {
+
+/// \brief Node of a LOGIC2TEXT logical form: either an operator application
+/// `func { arg ; arg ; ... }` or a leaf literal (column name, cell value,
+/// number, or the special view literal `all_rows`).
+struct Node {
+  bool is_literal = false;
+  std::string name;  // operator name, or literal text when is_literal
+  std::vector<std::unique_ptr<Node>> args;
+
+  static std::unique_ptr<Node> Literal(std::string text) {
+    auto n = std::make_unique<Node>();
+    n->is_literal = true;
+    n->name = std::move(text);
+    return n;
+  }
+  static std::unique_ptr<Node> Func(std::string op) {
+    auto n = std::make_unique<Node>();
+    n->name = std::move(op);
+    return n;
+  }
+
+  /// \brief Deep copy.
+  std::unique_ptr<Node> Clone() const;
+
+  /// \brief Canonical rendering: `func { a ; b }` with single spaces.
+  std::string ToString() const;
+};
+
+}  // namespace uctr::logic
+
+#endif  // UCTR_LOGIC_AST_H_

@@ -1,0 +1,110 @@
+#include "logic/parser.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace uctr::logic {
+
+namespace {
+
+/// Hand-rolled scanner: the grammar has only three delimiters, `{`, `}`
+/// and `;`; everything between them is free text.
+// Nesting deeper than any legitimate logical form; guards the recursive
+// parser against stack exhaustion on adversarial input.
+constexpr size_t kMaxDepth = 64;
+
+class LfParser {
+ public:
+  explicit LfParser(std::string_view text) : text_(text) {}
+
+  Result<std::unique_ptr<Node>> ParseExpr() {
+    if (++depth_ > kMaxDepth) {
+      return Status::ParseError("logical form nested deeper than " +
+                                std::to_string(kMaxDepth));
+    }
+    auto result = ParseExprInner();
+    --depth_;
+    return result;
+  }
+
+  Status Finish() {
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("trailing input at offset " +
+                                std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  Result<std::unique_ptr<Node>> ParseExprInner() {
+    std::string head = ReadTextChunk();
+    if (head.empty()) {
+      return Status::ParseError("empty expression at offset " +
+                                std::to_string(pos_));
+    }
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '{') {
+      ++pos_;  // consume '{'
+      auto node = Node::Func(std::move(head));
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return node;
+      }
+      while (true) {
+        UCTR_ASSIGN_OR_RETURN(std::unique_ptr<Node> arg, ParseExpr());
+        node->args.push_back(std::move(arg));
+        SkipSpace();
+        if (pos_ >= text_.size()) {
+          return Status::ParseError("unterminated '{' in logical form");
+        }
+        if (text_[pos_] == ';') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == '}') {
+          ++pos_;
+          return node;
+        }
+        return Status::ParseError("expected ';' or '}' at offset " +
+                                  std::to_string(pos_));
+      }
+    }
+    return Node::Literal(std::move(head));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  /// Reads free text up to the next delimiter, trimming outer whitespace.
+  std::string ReadTextChunk() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '{' && text_[pos_] != '}' &&
+           text_[pos_] != ';') {
+      ++pos_;
+    }
+    return Trim(text_.substr(start, pos_ - start));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  size_t depth_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Node>> Parse(std::string_view text) {
+  LfParser parser(text);
+  UCTR_ASSIGN_OR_RETURN(std::unique_ptr<Node> node, parser.ParseExpr());
+  UCTR_RETURN_NOT_OK(parser.Finish());
+  return node;
+}
+
+}  // namespace uctr::logic

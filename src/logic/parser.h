@@ -1,0 +1,19 @@
+#ifndef UCTR_LOGIC_PARSER_H_
+#define UCTR_LOGIC_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "logic/ast.h"
+
+namespace uctr::logic {
+
+/// \brief Parses the LOGIC2TEXT surface syntax
+/// `func { arg ; arg ; ... }` where leaf arguments are free text
+/// (column names and cell values may contain spaces).
+Result<std::unique_ptr<Node>> Parse(std::string_view text);
+
+}  // namespace uctr::logic
+
+#endif  // UCTR_LOGIC_PARSER_H_

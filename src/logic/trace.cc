@@ -1,0 +1,75 @@
+#include "logic/trace.h"
+
+#include "common/string_util.h"
+#include "logic/executor.h"
+
+namespace uctr::logic {
+
+namespace {
+
+bool IsViewOp(const std::string& op) {
+  return StartsWith(op, "filter_") || op == "argmax" || op == "argmin" ||
+         op == "nth_argmax" || op == "nth_argmin";
+}
+
+std::string Shorten(std::string text, size_t limit = 72) {
+  if (text.size() <= limit) return text;
+  return text.substr(0, limit - 3) + "...";
+}
+
+/// Post-order walk: trace children first, then this operator.
+Status TraceNode(const Node& node, const Table& table, size_t depth,
+                 ExecutionTrace* trace) {
+  if (node.is_literal) return Status::OK();
+  for (const auto& arg : node.args) {
+    UCTR_RETURN_NOT_OK(TraceNode(*arg, table, depth + 1, trace));
+  }
+
+  TraceStep step;
+  step.depth = depth;
+  step.op = node.name;
+  step.expression = Shorten(node.ToString());
+
+  Result<ExecResult> result = Execute(node, table);
+  if (result.ok()) {
+    if (IsViewOp(node.name)) {
+      step.output =
+          std::to_string(result->evidence_rows.size()) + " row(s)";
+    } else {
+      step.output = result->ToDisplayString();
+    }
+  } else if (IsViewOp(node.name) &&
+             result.status().code() == StatusCode::kEmptyResult) {
+    // An empty view is a legitimate intermediate value (count{} of it is
+    // 0); only bare-view top-level execution reports it as empty.
+    step.output = "0 row(s)";
+  } else {
+    return result.status();
+  }
+  trace->steps.push_back(std::move(step));
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string ExecutionTrace::ToString() const {
+  std::string out;
+  for (const TraceStep& step : steps) {
+    out += std::string(step.depth * 2, ' ');
+    out += step.expression;
+    out += "  =>  ";
+    out += step.output;
+    out += '\n';
+  }
+  return out;
+}
+
+Result<ExecutionTrace> ExecuteWithTrace(const Node& node,
+                                        const Table& table) {
+  ExecutionTrace trace;
+  UCTR_ASSIGN_OR_RETURN(trace.result, Execute(node, table));
+  UCTR_RETURN_NOT_OK(TraceNode(node, table, 0, &trace));
+  return trace;
+}
+
+}  // namespace uctr::logic

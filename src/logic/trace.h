@@ -1,0 +1,45 @@
+#ifndef UCTR_LOGIC_TRACE_H_
+#define UCTR_LOGIC_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "logic/ast.h"
+#include "table/exec_result.h"
+#include "table/table.h"
+
+namespace uctr::logic {
+
+/// \brief One step of a logical-form evaluation, in post-order: the
+/// operator applied, its rendered expression, and a summary of its output
+/// (a scalar's display string, or "k rows" for views).
+struct TraceStep {
+  size_t depth = 0;        ///< nesting depth of the operator
+  std::string op;          ///< operator name ("filter_eq", "count", ...)
+  std::string expression;  ///< the sub-expression evaluated
+  std::string output;      ///< human-readable result summary
+};
+
+/// \brief A full evaluation trace plus the final result.
+struct ExecutionTrace {
+  ExecResult result;
+  std::vector<TraceStep> steps;
+
+  /// \brief Multi-line rendering:
+  ///   filter_eq { all_rows ; nation ; china }  =>  1 row(s)
+  ///     hop { ... ; gold }                     =>  8
+  ///   eq { ... ; 8 }                           =>  true
+  std::string ToString() const;
+};
+
+/// \brief Executes `node` on `table`, recording every operator
+/// application. The final result is identical to logic::Execute — tracing
+/// re-runs the same evaluator and never changes semantics. Useful for
+/// debugging templates and for explaining a verifier's program reading
+/// to a user.
+Result<ExecutionTrace> ExecuteWithTrace(const Node& node, const Table& table);
+
+}  // namespace uctr::logic
+
+#endif  // UCTR_LOGIC_TRACE_H_

@@ -1,0 +1,54 @@
+#ifndef UCTR_MODEL_FEATURES_H_
+#define UCTR_MODEL_FEATURES_H_
+
+#include <string>
+#include <string_view>
+
+#include "gen/sample.h"
+#include "model/interpreter.h"
+#include "model/linear_model.h"
+
+namespace uctr::model {
+
+/// \brief Feature extraction knobs.
+struct FeatureConfig {
+  size_t dim = 1u << 18;
+  bool lexical = true;     ///< sentence unigrams + bigrams
+  bool alignment = true;   ///< sentence-table / sentence-text overlap
+  bool interpreter = true; ///< program-interpretation features (claims)
+};
+
+/// \brief Stable FNV-1a hash of a feature name into the weight space.
+uint32_t HashFeature(std::string_view name);
+
+/// \brief Maps a reasoning sample to hashed sparse features: lexical
+/// n-grams of the sentence, alignment statistics against the table and
+/// paragraph (token hits, numeric matches/misses), and — for claims —
+/// the verdict and confidence of the NlInterpreter's best program reading.
+///
+/// The interpreter features are what let a linear model "reason": the
+/// trained weights decide how much to trust a parsed program's verdict,
+/// the same division of labor as program-enhanced verification models.
+class FeatureExtractor {
+ public:
+  /// \param interpreter may be null (disables interpreter features).
+  FeatureExtractor(FeatureConfig config, const NlInterpreter* interpreter)
+      : config_(config), interpreter_(interpreter) {}
+
+  FeatureVector Extract(const Sample& sample) const;
+
+ private:
+  void AddLexical(const Sample& sample, FeatureVector* out) const;
+  void AddAlignment(const Sample& sample, FeatureVector* out) const;
+  void AddInterpreter(const Sample& sample, FeatureVector* out) const;
+
+  void Add(FeatureVector* out, std::string_view name, float value = 1.0f)
+      const;
+
+  FeatureConfig config_;
+  const NlInterpreter* interpreter_;
+};
+
+}  // namespace uctr::model
+
+#endif  // UCTR_MODEL_FEATURES_H_

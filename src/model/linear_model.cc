@@ -1,0 +1,166 @@
+#include "model/linear_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/numeric.h"
+#include "common/string_util.h"
+
+namespace uctr::model {
+
+LinearModel::LinearModel(int num_classes, size_t dim)
+    : num_classes_(num_classes),
+      dim_(dim),
+      weights_(static_cast<size_t>(num_classes) * dim, 0.0f),
+      adagrad_(static_cast<size_t>(num_classes) * dim, 0.0f) {}
+
+std::vector<double> LinearModel::Scores(const FeatureVector& features) const {
+  std::vector<double> scores(num_classes_, 0.0);
+  for (const Feature& f : features) {
+    size_t idx = f.index % dim_;
+    for (int c = 0; c < num_classes_; ++c) {
+      scores[c] += weights_[static_cast<size_t>(c) * dim_ + idx] * f.value;
+    }
+  }
+  return scores;
+}
+
+std::vector<double> LinearModel::Probabilities(
+    const FeatureVector& features) const {
+  std::vector<double> scores = Scores(features);
+  double max_score = *std::max_element(scores.begin(), scores.end());
+  double total = 0.0;
+  for (double& s : scores) {
+    s = std::exp(s - max_score);
+    total += s;
+  }
+  for (double& s : scores) s /= total;
+  return scores;
+}
+
+int LinearModel::Predict(const FeatureVector& features) const {
+  std::vector<double> scores = Scores(features);
+  return static_cast<int>(
+      std::max_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+void LinearModel::Update(const Example& example, double learning_rate,
+                         double l2) {
+  std::vector<double> probs = Probabilities(example.features);
+  for (const Feature& f : example.features) {
+    size_t idx = f.index % dim_;
+    for (int c = 0; c < num_classes_; ++c) {
+      double target = (c == example.label) ? 1.0 : 0.0;
+      double grad = (probs[c] - target) * f.value;
+      size_t w = static_cast<size_t>(c) * dim_ + idx;
+      grad += l2 * weights_[w];
+      adagrad_[w] += static_cast<float>(grad * grad);
+      double step =
+          learning_rate / (1e-6 + std::sqrt(static_cast<double>(adagrad_[w])));
+      weights_[w] -= static_cast<float>(step * grad);
+    }
+  }
+}
+
+double LinearModel::Train(const std::vector<Example>& examples,
+                          const TrainConfig& config, Rng* rng) {
+  if (examples.empty()) return 0.0;
+  std::vector<size_t> order(examples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  double last_loss = 0.0;
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    if (config.shuffle && rng != nullptr) rng->Shuffle(&order);
+    double loss = 0.0;
+    for (size_t i : order) {
+      const Example& ex = examples[i];
+      std::vector<double> probs = Probabilities(ex.features);
+      loss += -std::log(std::max(1e-12, probs[ex.label]));
+      Update(ex, config.learning_rate, config.l2);
+    }
+    last_loss = loss / static_cast<double>(examples.size());
+  }
+  return last_loss;
+}
+
+std::string LinearModel::SaveToString() const {
+  std::string out = "uctr_linear_model v1\n";
+  out += std::to_string(num_classes_) + " " + std::to_string(dim_) + "\n";
+  char buf[64];
+  auto dump = [&](const std::vector<float>& values) {
+    size_t nonzero = 0;
+    for (float v : values) {
+      if (v != 0.0f) ++nonzero;
+    }
+    out += std::to_string(nonzero) + "\n";
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (values[i] == 0.0f) continue;
+      std::snprintf(buf, sizeof(buf), "%zu %.9g\n", i,
+                    static_cast<double>(values[i]));
+      out += buf;
+    }
+  };
+  dump(weights_);
+  dump(adagrad_);
+  return out;
+}
+
+Result<LinearModel> LinearModel::LoadFromString(std::string_view text) {
+  std::vector<std::string> lines = Split(text, '\n');
+  size_t line = 0;
+  auto next_line = [&]() -> Result<std::string> {
+    if (line >= lines.size()) {
+      return Status::ParseError("truncated model file");
+    }
+    return lines[line++];
+  };
+
+  UCTR_ASSIGN_OR_RETURN(std::string header, next_line());
+  if (Trim(header) != "uctr_linear_model v1") {
+    return Status::ParseError("not a uctr linear model file");
+  }
+  UCTR_ASSIGN_OR_RETURN(std::string dims, next_line());
+  std::vector<std::string> parts = SplitWhitespace(dims);
+  if (parts.size() != 2) return Status::ParseError("bad dimensions line");
+  auto classes = ParseNumber(parts[0]);
+  auto dim = ParseNumber(parts[1]);
+  if (!classes || !dim || *classes < 2 || *dim < 1) {
+    return Status::ParseError("bad dimensions");
+  }
+  LinearModel model(static_cast<int>(*classes),
+                    static_cast<size_t>(*dim));
+
+  auto load = [&](std::vector<float>* values) -> Status {
+    UCTR_ASSIGN_OR_RETURN(std::string count_line, next_line());
+    auto count = ParseNumber(Trim(count_line));
+    if (!count || *count < 0) return Status::ParseError("bad entry count");
+    for (size_t i = 0; i < static_cast<size_t>(*count); ++i) {
+      UCTR_ASSIGN_OR_RETURN(std::string entry, next_line());
+      std::vector<std::string> fields = SplitWhitespace(entry);
+      if (fields.size() != 2) return Status::ParseError("bad weight entry");
+      auto index = ParseNumber(fields[0]);
+      auto value = ParseNumber(fields[1]);
+      if (!index || !value || *index < 0 ||
+          static_cast<size_t>(*index) >= values->size()) {
+        return Status::ParseError("weight index out of range");
+      }
+      (*values)[static_cast<size_t>(*index)] = static_cast<float>(*value);
+    }
+    return Status::OK();
+  };
+  UCTR_RETURN_NOT_OK(load(&model.weights_));
+  UCTR_RETURN_NOT_OK(load(&model.adagrad_));
+  return model;
+}
+
+double LinearModel::Evaluate(const std::vector<Example>& examples) const {
+  if (examples.empty()) return 0.0;
+  size_t correct = 0;
+  for (const Example& ex : examples) {
+    if (Predict(ex.features) == ex.label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(examples.size());
+}
+
+}  // namespace uctr::model

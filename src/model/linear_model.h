@@ -1,0 +1,85 @@
+#ifndef UCTR_MODEL_LINEAR_MODEL_H_
+#define UCTR_MODEL_LINEAR_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace uctr::model {
+
+/// \brief One sparse feature: hashed index and value.
+struct Feature {
+  uint32_t index = 0;
+  float value = 1.0f;
+};
+
+using FeatureVector = std::vector<Feature>;
+
+/// \brief A labeled training example.
+struct Example {
+  FeatureVector features;
+  int label = 0;
+};
+
+/// \brief Training hyper-parameters for the linear classifier.
+struct TrainConfig {
+  size_t epochs = 8;
+  double learning_rate = 0.15;
+  double l2 = 1e-6;
+  bool shuffle = true;
+};
+
+/// \brief Multiclass logistic regression over hashed sparse features,
+/// trained with AdaGrad SGD — the trainable core of every reasoning model
+/// in this repo (the linear stand-in for the paper's fine-tuned
+/// transformers; see DESIGN.md).
+class LinearModel {
+ public:
+  /// \param num_classes >= 2, \param dim hashed feature space size.
+  LinearModel(int num_classes, size_t dim);
+
+  int num_classes() const { return num_classes_; }
+  size_t dim() const { return dim_; }
+
+  /// \brief Per-class scores (logits).
+  std::vector<double> Scores(const FeatureVector& features) const;
+
+  /// \brief Softmax probabilities.
+  std::vector<double> Probabilities(const FeatureVector& features) const;
+
+  /// \brief Argmax class.
+  int Predict(const FeatureVector& features) const;
+
+  /// \brief Runs AdaGrad SGD over `examples`. Repeated calls continue
+  /// training from the current weights (used by few-shot fine-tuning).
+  /// Returns the final-epoch average loss.
+  double Train(const std::vector<Example>& examples, const TrainConfig& config,
+               Rng* rng);
+
+  /// \brief Mean accuracy of Predict over `examples`.
+  double Evaluate(const std::vector<Example>& examples) const;
+
+  /// \brief Serializes dimensions, non-zero weights, and AdaGrad state to
+  /// a compact line-oriented text format (stable across builds), so a
+  /// trained model can be stored and later resumed or served.
+  std::string SaveToString() const;
+
+  /// \brief Restores a model saved by SaveToString.
+  static Result<LinearModel> LoadFromString(std::string_view text);
+
+ private:
+  void Update(const Example& example, double learning_rate, double l2);
+
+  int num_classes_;
+  size_t dim_;
+  std::vector<float> weights_;     // num_classes x dim, row-major
+  std::vector<float> adagrad_;     // accumulated squared gradients
+};
+
+}  // namespace uctr::model
+
+#endif  // UCTR_MODEL_LINEAR_MODEL_H_

@@ -1,0 +1,94 @@
+#include "model/verifier.h"
+
+namespace uctr::model {
+
+namespace {
+
+int LabelToClass(Label label) {
+  switch (label) {
+    case Label::kSupported:
+      return 0;
+    case Label::kRefuted:
+      return 1;
+    case Label::kUnknown:
+      return 2;
+  }
+  return 0;
+}
+
+Label ClassToLabel(int c) {
+  if (c == 0) return Label::kSupported;
+  if (c == 1) return Label::kRefuted;
+  return Label::kUnknown;
+}
+
+}  // namespace
+
+VerifierModel::VerifierModel(VerifierConfig config,
+                             std::vector<ProgramTemplate> claim_templates)
+    : config_(config),
+      interpreter_(std::move(claim_templates)),
+      extractor_(config.features,
+                 config.features.interpreter ? &interpreter_ : nullptr),
+      model_(config.num_classes, config.features.dim) {}
+
+Sample VerifierModel::WithTextEvidence(const Sample& sample) const {
+  if (!config_.use_text_expansion || sample.paragraph.empty()) {
+    return sample;
+  }
+  auto expanded = text_to_table_.Apply(sample.table, sample.paragraph);
+  if (!expanded.ok()) return sample;
+  Sample out = sample;
+  out.table = std::move(expanded).ValueOrDie();
+  return out;
+}
+
+void VerifierModel::Train(const Dataset& data, Rng* rng) {
+  std::vector<Example> examples;
+  examples.reserve(data.size());
+  for (const Sample& s : data.samples) {
+    if (s.task != TaskType::kFactVerification) continue;
+    int label = LabelToClass(s.label);
+    if (label >= config_.num_classes) continue;  // Unknown in 2-way mode
+    Example ex;
+    ex.features = extractor_.Extract(WithTextEvidence(s));
+    ex.label = label;
+    examples.push_back(std::move(ex));
+  }
+  model_.Train(examples, config_.train, rng);
+}
+
+Label VerifierModel::Predict(const Sample& sample) const {
+  FeatureVector features = extractor_.Extract(WithTextEvidence(sample));
+  return ClassToLabel(model_.Predict(features));
+}
+
+std::string VerifierModel::SaveWeights() const {
+  return model_.SaveToString();
+}
+
+Status VerifierModel::LoadWeights(std::string_view text) {
+  UCTR_ASSIGN_OR_RETURN(LinearModel loaded,
+                        LinearModel::LoadFromString(text));
+  if (loaded.num_classes() != model_.num_classes() ||
+      loaded.dim() != model_.dim()) {
+    return Status::InvalidArgument(
+        "saved weights do not match this model's configuration");
+  }
+  model_ = std::move(loaded);
+  return Status::OK();
+}
+
+double VerifierModel::Accuracy(const Dataset& data) const {
+  size_t total = 0, correct = 0;
+  for (const Sample& s : data.samples) {
+    if (s.task != TaskType::kFactVerification) continue;
+    if (LabelToClass(s.label) >= config_.num_classes) continue;
+    ++total;
+    if (Predict(s) == s.label) ++correct;
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(correct) / static_cast<double>(total);
+}
+
+}  // namespace uctr::model

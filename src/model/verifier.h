@@ -1,0 +1,69 @@
+#ifndef UCTR_MODEL_VERIFIER_H_
+#define UCTR_MODEL_VERIFIER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "gen/sample.h"
+#include "hybrid/text_to_table.h"
+#include "model/features.h"
+#include "model/interpreter.h"
+#include "model/linear_model.h"
+#include "program/template.h"
+
+namespace uctr::model {
+
+/// \brief Configuration of the fact-verification model.
+struct VerifierConfig {
+  /// 2 = Supported/Refuted (FEVEROUS protocol), 3 = +Unknown
+  /// (SEM-TAB-FACTS protocol).
+  int num_classes = 2;
+  /// Integrate paragraph text into the table (Text-To-Table) before
+  /// interpreting a claim — the model's joint table-text reasoning path.
+  bool use_text_expansion = true;
+  FeatureConfig features;
+  TrainConfig train;
+};
+
+/// \brief The trainable fact-verification model (the role TAPAS and the
+/// FEVEROUS baseline play in the paper): a linear classifier over lexical,
+/// alignment, and program-interpretation features.
+///
+/// Training data decides everything else — the same architecture is
+/// trained on gold data (supervised), UCTR synthetic data (unsupervised),
+/// MQA-QG data (baseline), or a few labeled samples (few-shot).
+class VerifierModel {
+ public:
+  VerifierModel(VerifierConfig config,
+                std::vector<ProgramTemplate> claim_templates);
+
+  /// \brief Trains (or continues training) on `data`.
+  void Train(const Dataset& data, Rng* rng);
+
+  Label Predict(const Sample& sample) const;
+
+  /// \brief Label accuracy over `data`.
+  double Accuracy(const Dataset& data) const;
+
+  /// \brief Serializes the trained classifier weights (the templates and
+  /// config are code, not state). Restore with LoadWeights on a model
+  /// built with the same config.
+  std::string SaveWeights() const;
+  Status LoadWeights(std::string_view text);
+
+ private:
+  /// The sample with its paragraph folded into the table when possible.
+  Sample WithTextEvidence(const Sample& sample) const;
+
+  VerifierConfig config_;
+  NlInterpreter interpreter_;
+  FeatureExtractor extractor_;
+  hybrid::TextToTable text_to_table_;
+  LinearModel model_;
+};
+
+}  // namespace uctr::model
+
+#endif  // UCTR_MODEL_VERIFIER_H_

@@ -1,0 +1,171 @@
+#include "nlgen/arith_realizer.h"
+
+#include "common/numeric.h"
+#include "common/string_util.h"
+
+namespace uctr::nlgen {
+
+namespace {
+
+using arith::Operand;
+using arith::Step;
+
+/// Noun phrase for one operand: "the revenue in 2019" for cell refs,
+/// the literal text otherwise.
+std::string OperandPhrase(const Operand& op, const RealizeContext& ctx) {
+  (void)ctx;
+  switch (op.kind) {
+    case Operand::Kind::kCellRef:
+      return "the " + op.row + " in " + op.column;
+    case Operand::Kind::kConst:
+      return FormatNumber(op.constant);
+    case Operand::Kind::kStepRef:
+      return "that result";
+    case Operand::Kind::kText:
+      return op.text;
+  }
+  return op.text;
+}
+
+bool IsConst(const Operand& op, double value) {
+  return op.kind == Operand::Kind::kConst && NearlyEqual(op.constant, value);
+}
+
+bool RefsStep(const Operand& op, size_t step) {
+  return op.kind == Operand::Kind::kStepRef && op.step_ref == step;
+}
+
+bool SameOperand(const Operand& a, const Operand& b) {
+  return a.kind == b.kind && EqualsIgnoreCase(a.text, b.text);
+}
+
+/// "from 2018 to 2019" / "between x and y" for a (new, old) operand pair
+/// sharing a row: uses the column names.
+std::string FromToPhrase(const Operand& newer, const Operand& older,
+                         const RealizeContext& ctx) {
+  std::string pattern = ctx.Pick("from_to");
+  pattern = ReplaceAll(pattern, "%1", older.column);
+  pattern = ReplaceAll(pattern, "%2", newer.column);
+  return pattern;
+}
+
+bool SameRowCellPair(const Operand& a, const Operand& b) {
+  return a.kind == Operand::Kind::kCellRef &&
+         b.kind == Operand::Kind::kCellRef && EqualsIgnoreCase(a.row, b.row);
+}
+
+}  // namespace
+
+Result<std::string> RealizeArith(const arith::Expression& expr,
+                                 const RealizeContext& ctx) {
+  if (expr.steps.empty()) {
+    return Status::InvalidArgument("empty arithmetic expression");
+  }
+  const Step& s0 = expr.steps[0];
+  std::string question;
+
+  // --- two-step idioms ---------------------------------------------------
+  if (expr.steps.size() == 2) {
+    const Step& s1 = expr.steps[1];
+    // Percentage change: subtract(a,b), divide(#0, b).
+    if (s0.op == "subtract" && s1.op == "divide" && s0.args.size() == 2 &&
+        s1.args.size() == 2 && RefsStep(s1.args[0], 0) &&
+        SameOperand(s1.args[1], s0.args[1])) {
+      if (SameRowCellPair(s0.args[0], s0.args[1])) {
+        question = "by what " + ctx.Pick("percentage_change") + " did the " +
+                   s0.args[0].row + " move " +
+                   FromToPhrase(s0.args[0], s0.args[1], ctx);
+      } else {
+        question = ctx.Pick("what_is") + " the " +
+                   ctx.Pick("percentage_change") + " from " +
+                   OperandPhrase(s0.args[1], ctx) + " to " +
+                   OperandPhrase(s0.args[0], ctx);
+      }
+    }
+    // Two-point average: add(a,b), divide(#0, 2).
+    else if (s0.op == "add" && s1.op == "divide" && s1.args.size() == 2 &&
+             RefsStep(s1.args[0], 0) && IsConst(s1.args[1], 2)) {
+      question = ctx.Pick("what_is") + " the " + ctx.Pick("average") +
+                 " of " + OperandPhrase(s0.args[0], ctx) + " and " +
+                 OperandPhrase(s0.args[1], ctx);
+    }
+    // Percent-of: divide(a,b), multiply(#0, 100).
+    else if (s0.op == "divide" && s1.op == "multiply" &&
+             s1.args.size() == 2 && RefsStep(s1.args[0], 0) &&
+             IsConst(s1.args[1], 100)) {
+      question = "what percentage of " + OperandPhrase(s0.args[1], ctx) +
+                 " " + ctx.Pick("is") + " " + OperandPhrase(s0.args[0], ctx);
+    }
+  }
+
+  // --- one-step idioms ---------------------------------------------------
+  if (question.empty() && expr.steps.size() == 1) {
+    if (s0.op == "subtract" && s0.args.size() == 2) {
+      if (SameRowCellPair(s0.args[0], s0.args[1])) {
+        question = ctx.Pick("what_is") + " the " + ctx.Pick("difference") +
+                   " in the " + s0.args[0].row + " " +
+                   FromToPhrase(s0.args[0], s0.args[1], ctx);
+      } else {
+        question = ctx.Pick("what_is") + " the " + ctx.Pick("difference") +
+                   " between " + OperandPhrase(s0.args[0], ctx) + " and " +
+                   OperandPhrase(s0.args[1], ctx);
+      }
+    } else if (s0.op == "add" && s0.args.size() == 2) {
+      question = ctx.Pick("what_is") + " the sum of " +
+                 OperandPhrase(s0.args[0], ctx) + " and " +
+                 OperandPhrase(s0.args[1], ctx);
+    } else if (s0.op == "divide" && s0.args.size() == 2) {
+      question = ctx.Pick("what_is") + " the " + ctx.Pick("ratio") + " of " +
+                 OperandPhrase(s0.args[0], ctx) + " to " +
+                 OperandPhrase(s0.args[1], ctx);
+    } else if (s0.op == "multiply" && s0.args.size() == 2) {
+      question = ctx.Pick("what_is") + " the product of " +
+                 OperandPhrase(s0.args[0], ctx) + " and " +
+                 OperandPhrase(s0.args[1], ctx);
+    } else if (s0.op == "greater" && s0.args.size() == 2) {
+      question = "was " + OperandPhrase(s0.args[0], ctx) + " " +
+                 ctx.Pick("greater_than") + " " +
+                 OperandPhrase(s0.args[1], ctx);
+    } else if (s0.op == "exp" && s0.args.size() == 2) {
+      question = ctx.Pick("what_is") + " " + OperandPhrase(s0.args[0], ctx) +
+                 " raised to the power of " + OperandPhrase(s0.args[1], ctx);
+    } else if (StartsWith(s0.op, "table_") && s0.args.size() == 1) {
+      std::string series = s0.args[0].kind == Operand::Kind::kText
+                               ? s0.args[0].text
+                               : OperandPhrase(s0.args[0], ctx);
+      if (s0.op == "table_sum") {
+        question = ctx.Pick("what_is") + " the " + ctx.Pick("total") + " " +
+                   series + " across all periods";
+      } else if (s0.op == "table_average") {
+        question = ctx.Pick("what_is") + " the " + ctx.Pick("average") + " " +
+                   series + " across all periods";
+      } else if (s0.op == "table_max") {
+        question = ctx.Pick("what_is") + " the " + ctx.Pick("highest") +
+                   " value of " + series;
+      } else if (s0.op == "table_min") {
+        question = ctx.Pick("what_is") + " the " + ctx.Pick("lowest") +
+                   " value of " + series;
+      }
+    }
+  }
+
+  // --- generic fallback: narrate the steps -------------------------------
+  if (question.empty()) {
+    question = ctx.Pick("what_is") + " the result of ";
+    for (size_t i = 0; i < expr.steps.size(); ++i) {
+      const Step& s = expr.steps[i];
+      if (i > 0) question += ", then ";
+      question += s.op;
+      if (!s.args.empty()) {
+        question += " of " + OperandPhrase(s.args[0], ctx);
+        for (size_t j = 1; j < s.args.size(); ++j) {
+          question += " and " + OperandPhrase(s.args[j], ctx);
+        }
+      }
+    }
+  }
+
+  return FinishSentence(std::move(question), '?');
+}
+
+}  // namespace uctr::nlgen

@@ -1,0 +1,21 @@
+#ifndef UCTR_NLGEN_ARITH_REALIZER_H_
+#define UCTR_NLGEN_ARITH_REALIZER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "arith/ast.h"
+#include "nlgen/realize_util.h"
+
+namespace uctr::nlgen {
+
+/// \brief Renders a FinQA arithmetic program as a question, recognizing the
+/// common financial idioms:
+///   subtract(x of 2019, x of 2018), divide(#0, x of 2018)
+///   -> "What was the percentage change in x from 2018 to 2019?"
+Result<std::string> RealizeArith(const arith::Expression& expr,
+                                 const RealizeContext& ctx);
+
+}  // namespace uctr::nlgen
+
+#endif  // UCTR_NLGEN_ARITH_REALIZER_H_

@@ -1,0 +1,196 @@
+#include "nlgen/logic_realizer.h"
+
+#include "common/numeric.h"
+#include "common/string_util.h"
+
+namespace uctr::nlgen {
+
+namespace {
+
+bool IsAllRows(const logic::Node& node) {
+  return node.is_literal && EqualsIgnoreCase(node.name, "all_rows");
+}
+
+/// Relative clause describing the rows of a view: "" for all_rows,
+/// " whose gold is greater than 5" for filters, recursively composed.
+Result<std::string> ViewClause(const logic::Node& node,
+                               const RealizeContext& ctx) {
+  if (IsAllRows(node)) return std::string();
+  if (node.is_literal) {
+    return Status::InvalidArgument("unexpected literal view '" + node.name +
+                                   "'");
+  }
+  const std::string& op = node.name;
+  auto arg_text = [&](size_t i) { return node.args[i]->name; };
+
+  if (StartsWith(op, "filter_") && node.args.size() >= 2) {
+    UCTR_ASSIGN_OR_RETURN(std::string inner, ViewClause(*node.args[0], ctx));
+    std::string clause;
+    if (op == "filter_all") {
+      clause = " with a known " + arg_text(1);
+    } else {
+      std::string relation;
+      if (op == "filter_eq") relation = ctx.Pick("is");
+      else if (op == "filter_not_eq") relation = ctx.Pick("is") + " not";
+      else if (op == "filter_greater") {
+        relation = ctx.Pick("is") + " " + ctx.Pick("greater_than");
+      } else if (op == "filter_less") {
+        relation = ctx.Pick("is") + " " + ctx.Pick("less_than");
+      } else if (op == "filter_greater_eq") {
+        relation = ctx.Pick("is") + " at least";
+      } else if (op == "filter_less_eq") {
+        relation = ctx.Pick("is") + " at most";
+      } else {
+        return Status::InvalidArgument("unknown filter '" + op + "'");
+      }
+      clause = " " + ctx.Pick("whose") + " " + arg_text(1) + " " + relation +
+               " " + arg_text(2);
+    }
+    return inner + clause;
+  }
+  if ((op == "argmax" || op == "argmin") && node.args.size() == 2) {
+    UCTR_ASSIGN_OR_RETURN(std::string inner, ViewClause(*node.args[0], ctx));
+    std::string extreme =
+        op == "argmax" ? ctx.Pick("highest") : ctx.Pick("lowest");
+    return inner + " with the " + extreme + " " + arg_text(1);
+  }
+  if ((op == "nth_argmax" || op == "nth_argmin") && node.args.size() == 3) {
+    UCTR_ASSIGN_OR_RETURN(std::string inner, ViewClause(*node.args[0], ctx));
+    int n = static_cast<int>(
+        ParseNumber(arg_text(2)).value_or(1));
+    std::string extreme =
+        op == "nth_argmax" ? ctx.Pick("highest") : ctx.Pick("lowest");
+    return inner + " with the " + OrdinalWord(n) + " " + extreme + " " +
+           arg_text(1);
+  }
+  return Status::InvalidArgument("operator '" + op +
+                                 "' does not produce a view");
+}
+
+/// Noun phrase for a scalar-producing expression.
+Result<std::string> ScalarPhrase(const logic::Node& node,
+                                 const RealizeContext& ctx) {
+  if (node.is_literal) return node.name;
+  const std::string& op = node.name;
+
+  if ((op == "hop" || op == "num_hop" || op == "str_hop") &&
+      node.args.size() == 2) {
+    UCTR_ASSIGN_OR_RETURN(std::string clause, ViewClause(*node.args[0], ctx));
+    return "the " + node.args[1]->name + " of the " + ctx.Pick("row_word") +
+           clause;
+  }
+  if (op == "count" && node.args.size() == 1) {
+    UCTR_ASSIGN_OR_RETURN(std::string clause, ViewClause(*node.args[0], ctx));
+    if (clause.empty()) clause = " in the table";
+    return "the " + ctx.Pick("number_of") + " " + ctx.Pick("row_word") + "s" +
+           clause;
+  }
+  if ((op == "max" || op == "min") && node.args.size() == 2) {
+    UCTR_ASSIGN_OR_RETURN(std::string clause, ViewClause(*node.args[0], ctx));
+    std::string extreme = op == "max" ? ctx.Pick("highest") : ctx.Pick("lowest");
+    std::string phrase = "the " + extreme + " " + node.args[1]->name;
+    if (!clause.empty()) {
+      phrase += " among the " + ctx.Pick("row_word") + "s" + clause;
+    }
+    return phrase;
+  }
+  if ((op == "nth_max" || op == "nth_min") && node.args.size() == 3) {
+    UCTR_ASSIGN_OR_RETURN(std::string clause, ViewClause(*node.args[0], ctx));
+    int n = static_cast<int>(ParseNumber(node.args[2]->name).value_or(1));
+    std::string extreme =
+        op == "nth_max" ? ctx.Pick("highest") : ctx.Pick("lowest");
+    std::string phrase =
+        "the " + OrdinalWord(n) + " " + extreme + " " + node.args[1]->name;
+    if (!clause.empty()) {
+      phrase += " among the " + ctx.Pick("row_word") + "s" + clause;
+    }
+    return phrase;
+  }
+  if ((op == "sum" || op == "avg" || op == "average") &&
+      node.args.size() == 2) {
+    UCTR_ASSIGN_OR_RETURN(std::string clause, ViewClause(*node.args[0], ctx));
+    std::string head =
+        op == "sum" ? ctx.Pick("total") : ctx.Pick("average");
+    std::string phrase = "the " + head + " " + node.args[1]->name;
+    if (!clause.empty()) {
+      phrase += " of the " + ctx.Pick("row_word") + "s" + clause;
+    }
+    return phrase;
+  }
+  if (op == "diff" && node.args.size() == 2) {
+    UCTR_ASSIGN_OR_RETURN(std::string a, ScalarPhrase(*node.args[0], ctx));
+    UCTR_ASSIGN_OR_RETURN(std::string b, ScalarPhrase(*node.args[1], ctx));
+    return "the " + ctx.Pick("difference") + " between " + a + " and " + b;
+  }
+  return Status::InvalidArgument("cannot phrase operator '" + op + "'");
+}
+
+/// Full claim for a boolean-producing root.
+Result<std::string> Claim(const logic::Node& node, const RealizeContext& ctx) {
+  if (node.is_literal) {
+    return Status::InvalidArgument("cannot realize bare literal as a claim");
+  }
+  const std::string& op = node.name;
+
+  if ((op == "eq" || op == "not_eq" || op == "round_eq") &&
+      node.args.size() == 2) {
+    UCTR_ASSIGN_OR_RETURN(std::string a, ScalarPhrase(*node.args[0], ctx));
+    UCTR_ASSIGN_OR_RETURN(std::string b, ScalarPhrase(*node.args[1], ctx));
+    std::string verb = ctx.Pick("is");
+    if (op == "not_eq") verb += " not";
+    if (op == "round_eq") verb += " " + ctx.Pick("about");
+    return a + " " + verb + " " + b;
+  }
+  if ((op == "greater" || op == "less") && node.args.size() == 2) {
+    UCTR_ASSIGN_OR_RETURN(std::string a, ScalarPhrase(*node.args[0], ctx));
+    UCTR_ASSIGN_OR_RETURN(std::string b, ScalarPhrase(*node.args[1], ctx));
+    std::string relation =
+        op == "greater" ? ctx.Pick("greater_than") : ctx.Pick("less_than");
+    return a + " " + ctx.Pick("is") + " " + relation + " " + b;
+  }
+  if ((StartsWith(op, "most_") || StartsWith(op, "all_")) &&
+      node.args.size() == 3) {
+    UCTR_ASSIGN_OR_RETURN(std::string clause, ViewClause(*node.args[0], ctx));
+    std::string quantifier =
+        StartsWith(op, "most_") ? ctx.Pick("most_of") : ctx.Pick("all_of");
+    std::string suffix(op.substr(op.find('_') + 1));
+    std::string relation;
+    if (suffix == "eq") relation = "of";
+    else if (suffix == "not_eq") relation = "different from";
+    else if (suffix == "greater") relation = ctx.Pick("greater_than");
+    else if (suffix == "less") relation = ctx.Pick("less_than");
+    else if (suffix == "greater_eq") relation = "of at least";
+    else if (suffix == "less_eq") relation = "of at most";
+    else {
+      return Status::InvalidArgument("unknown majority op '" + op + "'");
+    }
+    return quantifier + " " + ctx.Pick("row_word") + "s" + clause + " have a " +
+           node.args[1]->name + " " + relation + " " + node.args[2]->name;
+  }
+  if (op == "only" && node.args.size() == 1) {
+    UCTR_ASSIGN_OR_RETURN(std::string clause, ViewClause(*node.args[0], ctx));
+    return "there " + ctx.Pick("is") + " " + ctx.Pick("only_one") + " " +
+           ctx.Pick("row_word") + clause;
+  }
+  if ((op == "and" || op == "or") && node.args.size() == 2) {
+    UCTR_ASSIGN_OR_RETURN(std::string a, Claim(*node.args[0], ctx));
+    UCTR_ASSIGN_OR_RETURN(std::string b, Claim(*node.args[1], ctx));
+    return a + (op == "and" ? ", and " : ", or ") + b;
+  }
+  if (op == "not" && node.args.size() == 1) {
+    UCTR_ASSIGN_OR_RETURN(std::string a, Claim(*node.args[0], ctx));
+    return "it is not the case that " + a;
+  }
+  return Status::InvalidArgument("cannot realize operator '" + op +
+                                 "' as a claim");
+}
+
+}  // namespace
+
+Result<std::string> RealizeLogic(const logic::Node& node,
+                                 const RealizeContext& ctx) {
+  UCTR_ASSIGN_OR_RETURN(std::string claim, Claim(node, ctx));
+  return FinishSentence(std::move(claim), '.');
+}
+
+}  // namespace uctr::nlgen

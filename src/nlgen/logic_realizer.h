@@ -1,0 +1,21 @@
+#ifndef UCTR_NLGEN_LOGIC_REALIZER_H_
+#define UCTR_NLGEN_LOGIC_REALIZER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "logic/ast.h"
+#include "nlgen/realize_util.h"
+
+namespace uctr::nlgen {
+
+/// \brief Renders a logical form as a natural-language claim, composing
+/// noun phrases bottom-up over the operator tree:
+///   eq { hop { filter_eq { all_rows ; nation ; china } ; gold } ; 8 }
+///   -> "The gold of the row whose nation is china is 8."
+Result<std::string> RealizeLogic(const logic::Node& node,
+                                 const RealizeContext& ctx);
+
+}  // namespace uctr::nlgen
+
+#endif  // UCTR_NLGEN_LOGIC_REALIZER_H_

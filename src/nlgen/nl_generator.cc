@@ -1,0 +1,49 @@
+#include "nlgen/nl_generator.h"
+
+#include "arith/parser.h"
+#include "logic/parser.h"
+#include "nlgen/arith_realizer.h"
+#include "nlgen/logic_realizer.h"
+#include "nlgen/realize_util.h"
+#include "nlgen/sql_realizer.h"
+#include "sql/parser.h"
+
+namespace uctr::nlgen {
+
+Result<std::string> NlGenerator::Generate(const Program& program,
+                                          Rng* rng) const {
+  Rng* effective = config_.stochastic ? rng : nullptr;
+  RealizeContext ctx(lexicon_, effective);
+
+  std::string sentence;
+  switch (program.type) {
+    case ProgramType::kSql: {
+      UCTR_ASSIGN_OR_RETURN(sql::SelectStatement stmt,
+                            sql::Parse(program.text));
+      UCTR_ASSIGN_OR_RETURN(sentence, RealizeSql(stmt, ctx));
+      break;
+    }
+    case ProgramType::kLogicalForm: {
+      UCTR_ASSIGN_OR_RETURN(auto node, logic::Parse(program.text));
+      UCTR_ASSIGN_OR_RETURN(sentence, RealizeLogic(*node, ctx));
+      break;
+    }
+    case ProgramType::kArithmetic: {
+      UCTR_ASSIGN_OR_RETURN(arith::Expression expr,
+                            arith::Parse(program.text));
+      UCTR_ASSIGN_OR_RETURN(sentence, RealizeArith(expr, ctx));
+      break;
+    }
+  }
+  if (effective != nullptr) {
+    sentence = paraphraser_.Apply(sentence, effective);
+  }
+  return sentence;
+}
+
+Result<std::string> NlGenerator::GenerateCanonical(
+    const Program& program) const {
+  return Generate(program, nullptr);
+}
+
+}  // namespace uctr::nlgen

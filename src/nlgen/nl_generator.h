@@ -1,0 +1,55 @@
+#ifndef UCTR_NLGEN_NL_GENERATOR_H_
+#define UCTR_NLGEN_NL_GENERATOR_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "nlgen/lexicon.h"
+#include "nlgen/paraphraser.h"
+#include "program/program.h"
+
+namespace uctr::nlgen {
+
+/// \brief Configuration of the NL-Generator (Equation 3: f(P) -> L).
+struct NlGeneratorConfig {
+  /// When false, realization is fully deterministic (canonical phrases, no
+  /// paraphrase noise) — one program always maps to one sentence.
+  bool stochastic = true;
+  ParaphraseConfig paraphrase;
+};
+
+/// \brief The paper's NL-Generator module: maps programs of all three types
+/// into natural-language questions (SQL, arithmetic) or claims (logical
+/// forms).
+///
+/// The paper fine-tunes GPT-2 / BART on program-NL pairs; this
+/// implementation substitutes a compositional grammar-based realizer per
+/// program family plus a stochastic paraphraser, which preserves the
+/// program logic exactly while reproducing the surface diversity (and,
+/// when configured, the occasional information loss) of a neural
+/// generator. See DESIGN.md, "Substitutions".
+class NlGenerator {
+ public:
+  explicit NlGenerator(NlGeneratorConfig config = {},
+                       const Lexicon* lexicon = &Lexicon::Default())
+      : config_(config),
+        lexicon_(lexicon),
+        paraphraser_(config.paraphrase, lexicon) {}
+
+  /// \brief Generates the sentence for `program`. `rng` supplies the
+  /// stochastic choices and may be null (forces deterministic output).
+  Result<std::string> Generate(const Program& program, Rng* rng) const;
+
+  /// \brief Deterministic (canonical) generation.
+  Result<std::string> GenerateCanonical(const Program& program) const;
+
+ private:
+  NlGeneratorConfig config_;
+  const Lexicon* lexicon_;
+  Paraphraser paraphraser_;
+};
+
+}  // namespace uctr::nlgen
+
+#endif  // UCTR_NLGEN_NL_GENERATOR_H_

@@ -1,0 +1,86 @@
+#include "nlgen/paraphraser.h"
+
+#include <cctype>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace uctr::nlgen {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+std::string Paraphraser::Apply(const std::string& sentence, Rng* rng) const {
+  if (sentence.empty()) return sentence;
+  char terminal = sentence.back();
+  bool has_terminal = terminal == '.' || terminal == '?' || terminal == '!';
+  std::string body = has_terminal
+                         ? sentence.substr(0, sentence.size() - 1)
+                         : sentence;
+
+  // Tokenize into word / non-word runs so spacing and numbers survive.
+  std::vector<std::string> parts;
+  std::vector<bool> is_word;
+  size_t i = 0;
+  while (i < body.size()) {
+    bool word = IsWordChar(body[i]);
+    size_t start = i;
+    while (i < body.size() && IsWordChar(body[i]) == word) ++i;
+    parts.push_back(body.substr(start, i - start));
+    is_word.push_back(word);
+  }
+
+  // Synonym substitution.
+  for (size_t k = 0; k < parts.size(); ++k) {
+    if (!is_word[k]) continue;
+    if (!rng->Bernoulli(config_.synonym_prob)) continue;
+    const auto& group = lexicon_->SynonymGroup(parts[k]);
+    if (group.empty()) continue;
+    std::string replacement = group[rng->Index(group.size())];
+    // Preserve initial capitalization.
+    if (!parts[k].empty() &&
+        std::isupper(static_cast<unsigned char>(parts[k][0]))) {
+      replacement = Capitalize(replacement);
+    }
+    parts[k] = replacement;
+  }
+
+  // Word drop (information-loss noise).
+  if (rng->Bernoulli(config_.drop_prob)) {
+    std::vector<size_t> word_positions;
+    for (size_t k = 0; k < parts.size(); ++k) {
+      if (is_word[k] && k > 0) word_positions.push_back(k);
+    }
+    if (!word_positions.empty()) {
+      size_t victim = word_positions[rng->Index(word_positions.size())];
+      parts[victim].clear();
+    }
+  }
+
+  std::string out;
+  for (const auto& p : parts) out += p;
+  // Collapse runs of spaces introduced by drops, and trim the edges so the
+  // terminal punctuation reattaches cleanly.
+  while (out.find("  ") != std::string::npos) {
+    out = ReplaceAll(out, "  ", " ");
+  }
+  out = Trim(out);
+
+  // Character transposition (typo noise).
+  if (rng->Bernoulli(config_.typo_prob) && out.size() > 3) {
+    size_t pos = 1 + rng->Index(out.size() - 2);
+    if (IsWordChar(out[pos]) && IsWordChar(out[pos + 1])) {
+      std::swap(out[pos], out[pos + 1]);
+    }
+  }
+
+  if (has_terminal) out.push_back(terminal);
+  return out;
+}
+
+}  // namespace uctr::nlgen

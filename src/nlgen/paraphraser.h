@@ -1,0 +1,40 @@
+#ifndef UCTR_NLGEN_PARAPHRASER_H_
+#define UCTR_NLGEN_PARAPHRASER_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "nlgen/lexicon.h"
+
+namespace uctr::nlgen {
+
+/// \brief Stochastic surface rewriting applied after realization.
+///
+/// Together with the lexicon-sampling realizers this stands in for the
+/// fine-tuned generative model: `synonym_prob` drives lexical variety,
+/// `drop_prob` / `typo_prob` inject the imperfections the paper observes in
+/// Table IX (generated text occasionally losing or corrupting information).
+struct ParaphraseConfig {
+  double synonym_prob = 0.3;  ///< Per eligible word: swap with a synonym.
+  double drop_prob = 0.0;     ///< Per sentence: drop one non-initial word.
+  double typo_prob = 0.0;     ///< Per sentence: transpose two letters.
+};
+
+class Paraphraser {
+ public:
+  Paraphraser(ParaphraseConfig config, const Lexicon* lexicon)
+      : config_(config), lexicon_(lexicon) {}
+
+  /// \brief Rewrites `sentence` according to the configured noise levels.
+  /// Deterministic per Rng state; preserves terminal punctuation and
+  /// capitalization.
+  std::string Apply(const std::string& sentence, Rng* rng) const;
+
+ private:
+  ParaphraseConfig config_;
+  const Lexicon* lexicon_;
+};
+
+}  // namespace uctr::nlgen
+
+#endif  // UCTR_NLGEN_PARAPHRASER_H_

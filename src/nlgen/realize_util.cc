@@ -1,0 +1,25 @@
+#include "nlgen/realize_util.h"
+
+#include "common/string_util.h"
+
+namespace uctr::nlgen {
+
+std::string OrdinalWord(int n) {
+  if (n == 1) return "1st";
+  if (n == 2) return "2nd";
+  if (n == 3) return "3rd";
+  return std::to_string(n) + "th";
+}
+
+std::string FinishSentence(std::string text, char terminal) {
+  text = Trim(text);
+  if (text.empty()) return text;
+  text = Capitalize(text);
+  char last = text.back();
+  if (last != '.' && last != '?' && last != '!') {
+    text.push_back(terminal);
+  }
+  return text;
+}
+
+}  // namespace uctr::nlgen

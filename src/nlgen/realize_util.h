@@ -1,0 +1,42 @@
+#ifndef UCTR_NLGEN_REALIZE_UTIL_H_
+#define UCTR_NLGEN_REALIZE_UTIL_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "nlgen/lexicon.h"
+
+namespace uctr::nlgen {
+
+/// \brief Shared context for the surface realizers: a lexicon plus an
+/// optional Rng. With a null Rng every phrase choice is canonical, making
+/// realization deterministic (useful for tests and caching); with an Rng
+/// the realizer samples phrase variants for surface diversity.
+class RealizeContext {
+ public:
+  RealizeContext(const Lexicon* lexicon, Rng* rng)
+      : lexicon_(lexicon), rng_(rng) {}
+
+  /// \brief A phrase variant for `key`.
+  std::string Pick(const std::string& key) const {
+    if (rng_ == nullptr) return lexicon_->Canonical(key);
+    return lexicon_->Pick(key, rng_);
+  }
+
+  Rng* rng() const { return rng_; }
+  const Lexicon& lexicon() const { return *lexicon_; }
+
+ private:
+  const Lexicon* lexicon_;
+  Rng* rng_;
+};
+
+/// \brief "1st", "2nd", "3rd", "4th", ... for ordinal phrases.
+std::string OrdinalWord(int n);
+
+/// \brief Uppercases the first letter and guarantees terminal punctuation.
+std::string FinishSentence(std::string text, char terminal);
+
+}  // namespace uctr::nlgen
+
+#endif  // UCTR_NLGEN_REALIZE_UTIL_H_

@@ -1,0 +1,146 @@
+#include "nlgen/sql_realizer.h"
+
+#include "common/string_util.h"
+
+namespace uctr::nlgen {
+
+namespace {
+
+std::string DescribeCondition(const sql::Condition& cond,
+                              const RealizeContext& ctx) {
+  std::string value = cond.literal.ToDisplayString();
+  switch (cond.op) {
+    case sql::CmpOp::kEq:
+      return cond.column + " " + ctx.Pick("is") + " " + value;
+    case sql::CmpOp::kNe:
+      return cond.column + " " + ctx.Pick("is") + " not " + value;
+    case sql::CmpOp::kLt:
+      return cond.column + " " + ctx.Pick("is") + " " +
+             ctx.Pick("less_than") + " " + value;
+    case sql::CmpOp::kGt:
+      return cond.column + " " + ctx.Pick("is") + " " +
+             ctx.Pick("greater_than") + " " + value;
+    case sql::CmpOp::kLe:
+      return cond.column + " " + ctx.Pick("is") + " at most " + value;
+    case sql::CmpOp::kGe:
+      return cond.column + " " + ctx.Pick("is") + " at least " + value;
+  }
+  return "";
+}
+
+/// Property form used after "have": "a gold greater than 5".
+std::string DescribeProperty(const sql::Condition& cond,
+                             const RealizeContext& ctx) {
+  std::string value = cond.literal.ToDisplayString();
+  switch (cond.op) {
+    case sql::CmpOp::kEq:
+      return "a " + cond.column + " " + ctx.Pick("equal_to") + " " + value;
+    case sql::CmpOp::kNe:
+      return "a " + cond.column + " different from " + value;
+    case sql::CmpOp::kLt:
+      return "a " + cond.column + " " + ctx.Pick("less_than") + " " + value;
+    case sql::CmpOp::kGt:
+      return "a " + cond.column + " " + ctx.Pick("greater_than") + " " +
+             value;
+    case sql::CmpOp::kLe:
+      return "a " + cond.column + " of at most " + value;
+    case sql::CmpOp::kGe:
+      return "a " + cond.column + " of at least " + value;
+  }
+  return "";
+}
+
+std::string DescribeWhere(const sql::SelectStatement& stmt,
+                          const RealizeContext& ctx) {
+  std::string out;
+  for (size_t i = 0; i < stmt.where.size(); ++i) {
+    out += (i == 0) ? " whose " : " and ";
+    out += DescribeCondition(stmt.where[i], ctx);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> RealizeSql(const sql::SelectStatement& stmt,
+                               const RealizeContext& ctx) {
+  if (stmt.items.empty()) {
+    return Status::InvalidArgument("statement has no select items");
+  }
+  const sql::SelectItem& item = stmt.items[0];
+  std::string question;
+
+  if (item.agg == sql::AggFunc::kCount) {
+    if (item.distinct) {
+      question = "how many different " + item.column + " values appear" +
+                 DescribeWhere(stmt, ctx);
+    } else if (item.star && stmt.where.empty()) {
+      question = ctx.Pick("how_many") + " " + ctx.Pick("row_word") +
+                 "s does the table have";
+    } else {
+      question = ctx.Pick("how_many") + " " + ctx.Pick("row_word") + "s " +
+                 "have";
+      // Conditions as properties ("a gold greater than 5").
+      for (size_t i = 0; i < stmt.where.size(); ++i) {
+        if (i > 0) question += " and";
+        question += " " + DescribeProperty(stmt.where[i], ctx);
+      }
+    }
+  } else if (item.agg != sql::AggFunc::kNone) {
+    std::string head;
+    switch (item.agg) {
+      case sql::AggFunc::kSum:
+        head = ctx.Pick("total");
+        break;
+      case sql::AggFunc::kAvg:
+        head = ctx.Pick("average");
+        break;
+      case sql::AggFunc::kMax:
+        head = ctx.Pick("highest");
+        break;
+      case sql::AggFunc::kMin:
+        head = ctx.Pick("lowest");
+        break;
+      default:
+        return Status::Internal("unexpected aggregate");
+    }
+    question = ctx.Pick("what_is") + " the " + head + " " + item.column;
+    if (!stmt.where.empty()) {
+      question += " of the " + ctx.Pick("row_word") + "s" +
+                  DescribeWhere(stmt, ctx);
+    }
+  } else if (item.arith != sql::ArithOp::kNone) {
+    std::string relation = item.arith == sql::ArithOp::kSub
+                               ? ctx.Pick("difference") + " between "
+                               : "sum of ";
+    question = ctx.Pick("what_is") + " the " + relation + item.column +
+               " and " + item.rhs_column;
+    if (!stmt.where.empty()) {
+      question += " for the " + ctx.Pick("row_word") +
+                  DescribeWhere(stmt, ctx);
+    }
+  } else if (stmt.order_by && stmt.limit && *stmt.limit == 1) {
+    std::string extreme =
+        stmt.order_by->descending ? ctx.Pick("highest") : ctx.Pick("lowest");
+    question = ctx.Pick("which") + " " + item.column + " " + ctx.Pick("has") +
+               " the " + extreme + " " + stmt.order_by->column;
+    if (!stmt.where.empty()) {
+      question += ", considering only " + ctx.Pick("row_word") + "s" +
+                  DescribeWhere(stmt, ctx);
+    }
+  } else {
+    question = ctx.Pick("what_is") + " the " + item.column;
+    for (size_t i = 1; i < stmt.items.size(); ++i) {
+      question += " and the " + stmt.items[i].column;
+    }
+    if (!stmt.where.empty()) {
+      question += " of the " + ctx.Pick("row_word") + DescribeWhere(stmt, ctx);
+    } else if (stmt.order_by) {
+      question += " ordered by " + stmt.order_by->column;
+    }
+  }
+
+  return FinishSentence(std::move(question), '?');
+}
+
+}  // namespace uctr::nlgen

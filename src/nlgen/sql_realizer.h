@@ -1,0 +1,20 @@
+#ifndef UCTR_NLGEN_SQL_REALIZER_H_
+#define UCTR_NLGEN_SQL_REALIZER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "nlgen/realize_util.h"
+#include "sql/ast.h"
+
+namespace uctr::nlgen {
+
+/// \brief Renders a parsed SQL query as a natural-language question
+/// ("select c1 from w order by c2 desc limit 1" ->
+///  "Which department has the highest total deputies?").
+Result<std::string> RealizeSql(const sql::SelectStatement& stmt,
+                               const RealizeContext& ctx);
+
+}  // namespace uctr::nlgen
+
+#endif  // UCTR_NLGEN_SQL_REALIZER_H_

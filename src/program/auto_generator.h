@@ -1,0 +1,84 @@
+#ifndef UCTR_PROGRAM_AUTO_GENERATOR_H_
+#define UCTR_PROGRAM_AUTO_GENERATOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "program/template.h"
+#include "table/table.h"
+
+namespace uctr {
+
+/// \brief Configuration of the automatic template generator.
+struct AutoGenConfig {
+  /// Random candidate templates proposed per Generate call.
+  size_t num_candidates = 150;
+  /// Maximum nesting depth of generated view expressions.
+  size_t max_depth = 2;
+  /// Instantiation trials per corpus table when validating a candidate.
+  size_t trials_per_table = 3;
+  /// Minimum fraction of trials that must execute successfully for a
+  /// candidate to be kept (the data-distribution filter).
+  double min_success_rate = 0.34;
+  /// Propose claim (logical form) templates; otherwise SQL question
+  /// templates.
+  bool claims = true;
+};
+
+/// \brief The paper's future-work extension (Section VII): "explore an
+/// auto program-generation method based on the existing data
+/// distributions to make the framework more flexible."
+///
+/// Instead of collecting templates from SQUALL / LOGIC2TEXT / FinQA, this
+/// generator composes random templates directly from the operator grammar
+/// (depth-limited, type-correct by construction), then keeps only the
+/// candidates that instantiate and execute successfully on a reference
+/// corpus at a configurable rate — grounding the template inventory in
+/// the actual data distribution.
+class AutoTemplateGenerator {
+ public:
+  /// \param rng not owned.
+  AutoTemplateGenerator(AutoGenConfig config, Rng* rng)
+      : config_(config), rng_(rng) {}
+
+  /// \brief One random candidate template (unvalidated). Claim templates
+  /// are logical forms rooted at a boolean operator; question templates
+  /// are SQL SELECTs.
+  ProgramTemplate Propose();
+
+  /// \brief Proposes `num_candidates` templates, validates each against
+  /// `corpus`, deduplicates, and returns the survivors.
+  std::vector<ProgramTemplate> Generate(const std::vector<Table>& corpus);
+
+  /// \brief Fraction of sampling trials on `corpus` that execute
+  /// successfully (exposed for tests and ablations).
+  double SuccessRate(const ProgramTemplate& tmpl,
+                     const std::vector<Table>& corpus);
+
+ private:
+  /// Fresh placeholder ids per proposal.
+  struct SlotCounter {
+    int columns = 0;
+    int values = 0;
+    int ordinals = 0;
+  };
+
+  std::string NewColumn(SlotCounter* slots, bool numeric, bool text = false);
+  std::string NewValue(SlotCounter* slots, const std::string& column_slot);
+
+  /// Random view expression of at most `depth` nested operators.
+  std::string RandomView(SlotCounter* slots, size_t depth);
+  /// Random scalar expression (hop/count/aggregate/superlative).
+  std::string RandomScalar(SlotCounter* slots, size_t depth,
+                           bool* numeric_out);
+
+  std::string ProposeClaimPattern(SlotCounter* slots);
+  std::string ProposeSqlPattern(SlotCounter* slots);
+
+  AutoGenConfig config_;
+  Rng* rng_;
+};
+
+}  // namespace uctr
+
+#endif  // UCTR_PROGRAM_AUTO_GENERATOR_H_

@@ -1,0 +1,54 @@
+#ifndef UCTR_PROGRAM_LIBRARY_H_
+#define UCTR_PROGRAM_LIBRARY_H_
+
+#include <string>
+#include <vector>
+
+#include "program/template.h"
+
+namespace uctr {
+
+/// \brief SQUALL-style SQL query templates (question answering): span
+/// lookup, superlatives, counting, aggregation, conjunction, sum/diff.
+std::vector<ProgramTemplate> BuiltinSqlTemplates();
+
+/// \brief LOGIC2TEXT logical-form templates (fact verification): lookup,
+/// count, superlative, ordinal, aggregation, comparative, majority, unique,
+/// and conjunction reasoning types.
+std::vector<ProgramTemplate> BuiltinLogicTemplates();
+
+/// \brief FinQA arithmetic-expression templates (numerical QA): change,
+/// percentage change, ratio, sum/average of items, table aggregations,
+/// numeric comparison.
+std::vector<ProgramTemplate> BuiltinArithTemplates();
+
+/// \brief The full template collection with per-type and per-reasoning-type
+/// access — the repo's stand-in for the paper's template collection step
+/// over SQUALL / LOGIC2TEXT / FinQA.
+class TemplateLibrary {
+ public:
+  /// \brief Library preloaded with all built-in templates (deduplicated).
+  static TemplateLibrary Builtin();
+
+  /// \brief Empty library to be populated via Add (e.g. by the templatizer).
+  TemplateLibrary() = default;
+
+  void Add(ProgramTemplate tmpl);
+
+  const std::vector<ProgramTemplate>& templates() const { return templates_; }
+
+  /// \brief Templates of one program family.
+  std::vector<ProgramTemplate> OfType(ProgramType type) const;
+
+  /// \brief Templates whose reasoning_type matches.
+  std::vector<ProgramTemplate> OfReasoningType(const std::string& tag) const;
+
+  size_t size() const { return templates_.size(); }
+
+ private:
+  std::vector<ProgramTemplate> templates_;
+};
+
+}  // namespace uctr
+
+#endif  // UCTR_PROGRAM_LIBRARY_H_

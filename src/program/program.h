@@ -1,0 +1,40 @@
+#ifndef UCTR_PROGRAM_PROGRAM_H_
+#define UCTR_PROGRAM_PROGRAM_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "table/exec_result.h"
+#include "table/table.h"
+
+namespace uctr {
+
+/// \brief The three program families of the paper (Section II-C).
+enum class ProgramType {
+  kSql = 0,        ///< SQUALL-style SQL queries (question answering).
+  kLogicalForm,    ///< LOGIC2TEXT logical forms (fact verification).
+  kArithmetic,     ///< FinQA arithmetic expressions (numerical QA).
+};
+
+const char* ProgramTypeToString(ProgramType type);
+
+/// \brief A concrete executable program: a type tag plus its canonical text.
+///
+/// The unified Program-Executor (Equation 4) dispatches on the type to the
+/// per-family executors in uctr::sql / uctr::logic / uctr::arith.
+struct Program {
+  ProgramType type = ProgramType::kSql;
+  std::string text;
+
+  /// \brief Executes this program on `table`; kEmptyResult and parse /
+  /// execution failures surface as error Statuses so the generation
+  /// pipeline can discard the sample (Algorithm 1, line 14).
+  Result<ExecResult> Execute(const Table& table) const;
+
+  /// \brief Syntax check without execution.
+  Status Validate() const;
+};
+
+}  // namespace uctr
+
+#endif  // UCTR_PROGRAM_PROGRAM_H_

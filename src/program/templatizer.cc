@@ -1,0 +1,265 @@
+#include "program/templatizer.h"
+
+#include <map>
+#include <string>
+
+#include "arith/ast.h"
+#include "arith/parser.h"
+#include "common/string_util.h"
+#include "logic/ast.h"
+#include "logic/executor.h"
+#include "logic/parser.h"
+#include "sql/ast.h"
+#include "sql/parser.h"
+
+namespace uctr {
+
+namespace {
+
+/// Shared bookkeeping: assigns stable placeholder ids to column names,
+/// values, and row names as they are encountered.
+class SlotMap {
+ public:
+  explicit SlotMap(const Table& table) : table_(table) {}
+
+  /// Placeholder spelling for a column, e.g. "{c1:num}".
+  std::string ColumnSlot(const std::string& name) {
+    auto it = columns_.find(ToLower(name));
+    if (it != columns_.end()) return it->second;
+    std::string id = "c" + std::to_string(columns_.size() + 1);
+    std::string constraint;
+    if (auto c = table_.ColumnIndex(name); c.ok()) {
+      ColumnType type = table_.schema().column(c.ValueOrDie()).type;
+      if (type == ColumnType::kNumber) constraint = ":num";
+      if (type == ColumnType::kText) constraint = ":text";
+    }
+    std::string slot = "{" + id + constraint + "}";
+    columns_[ToLower(name)] = slot;
+    column_ids_[ToLower(name)] = id;
+    return slot;
+  }
+
+  /// Placeholder spelling for a value from `column`, e.g. "{v1@c2}".
+  std::string ValueSlot(const std::string& column) {
+    std::string col_id = column_ids_.count(ToLower(column))
+                             ? column_ids_[ToLower(column)]
+                             : "c1";
+    std::string id = "v" + std::to_string(++value_count_);
+    return "{" + id + "@" + col_id + "}";
+  }
+
+  std::string RowSlot(const std::string& name) {
+    auto it = rows_.find(ToLower(name));
+    if (it != rows_.end()) return it->second;
+    std::string slot = "{r" + std::to_string(rows_.size() + 1) + "}";
+    rows_[ToLower(name)] = slot;
+    return slot;
+  }
+
+ private:
+  const Table& table_;
+  std::map<std::string, std::string> columns_;
+  std::map<std::string, std::string> column_ids_;
+  std::map<std::string, std::string> rows_;
+  size_t value_count_ = 0;
+};
+
+std::string GuessSqlReasoningType(const sql::SelectStatement& stmt) {
+  for (const auto& item : stmt.items) {
+    if (item.agg == sql::AggFunc::kCount) return "count";
+    if (item.agg != sql::AggFunc::kNone) return "aggregation";
+    if (item.arith == sql::ArithOp::kSub) return "diff";
+    if (item.arith == sql::ArithOp::kAdd) return "sum";
+  }
+  if (stmt.order_by && stmt.limit) return "superlative";
+  if (stmt.where.size() > 1) return "conjunction";
+  for (const auto& cond : stmt.where) {
+    if (cond.op != sql::CmpOp::kEq) return "comparison";
+  }
+  return "span";
+}
+
+/// Operators whose arguments are (view, column[, value|ordinal]).
+bool TakesColumnAtArg1(const std::string& op) {
+  return StartsWith(op, "filter_") || StartsWith(op, "most_") ||
+         StartsWith(op, "all_") || op == "hop" || op == "num_hop" ||
+         op == "str_hop" || op == "max" || op == "min" || op == "sum" ||
+         op == "avg" || op == "average" || op == "argmax" || op == "argmin" ||
+         op == "nth_argmax" || op == "nth_argmin" || op == "nth_max" ||
+         op == "nth_min";
+}
+
+bool TakesValueAtArg2(const std::string& op) {
+  return (StartsWith(op, "filter_") && op != "filter_all") ||
+         StartsWith(op, "most_") || StartsWith(op, "all_");
+}
+
+bool TakesOrdinalAtArg2(const std::string& op) {
+  return op == "nth_argmax" || op == "nth_argmin" || op == "nth_max" ||
+         op == "nth_min";
+}
+
+std::string GuessLogicReasoningType(const logic::Node& root) {
+  std::string found = "unique";
+  std::vector<const logic::Node*> stack = {&root};
+  while (!stack.empty()) {
+    const logic::Node* n = stack.back();
+    stack.pop_back();
+    if (!n->is_literal) {
+      const std::string& op = n->name;
+      if (op == "count") return "count";
+      if (StartsWith(op, "most_") || StartsWith(op, "all_")) {
+        return "majority";
+      }
+      if (StartsWith(op, "nth_")) return "ordinal";
+      if (op == "argmax" || op == "argmin" || op == "max" || op == "min") {
+        found = "superlative";
+      }
+      if (op == "sum" || op == "avg" || op == "average") {
+        return "aggregation";
+      }
+      if (op == "greater" || op == "less" || op == "diff") {
+        found = "comparative";
+      }
+      if (op == "only") found = "unique";
+      if (op == "and" || op == "or") return "conjunction";
+    }
+    for (const auto& a : n->args) stack.push_back(a.get());
+  }
+  return found;
+}
+
+/// Rewrites a logic AST in place, replacing column/value/ordinal literals
+/// with placeholder spellings. `last_column` tracks the column governing
+/// sibling value slots.
+void AbstractLogicNode(logic::Node* node, SlotMap* slots) {
+  if (node->is_literal) return;
+  const std::string& op = node->name;
+  std::string column_name;
+  for (size_t i = 0; i < node->args.size(); ++i) {
+    logic::Node* arg = node->args[i].get();
+    if (!arg->is_literal) {
+      AbstractLogicNode(arg, slots);
+      continue;
+    }
+    if (EqualsIgnoreCase(arg->name, "all_rows")) continue;
+    if (i == 1 && TakesColumnAtArg1(op)) {
+      column_name = arg->name;
+      arg->name = slots->ColumnSlot(column_name);
+    } else if (i == 2 && TakesOrdinalAtArg2(op)) {
+      arg->name = "{ord1}";
+    } else if (i == 2 && TakesValueAtArg2(op)) {
+      arg->name = slots->ValueSlot(column_name);
+    }
+  }
+}
+
+/// After structural abstraction, the remaining literal argument of the
+/// root comparison (eq/round_eq/greater/less/not_eq) is the compared-to
+/// value: turn it into {derive}.
+void MarkDerive(logic::Node* root) {
+  const std::string& op = root->name;
+  if ((op == "eq" || op == "round_eq" || op == "not_eq") &&
+      root->args.size() == 2) {
+    for (size_t i = 0; i < 2; ++i) {
+      logic::Node* arg = root->args[i].get();
+      if (arg->is_literal && arg->name.find('{') == std::string::npos &&
+          !root->args[1 - i]->is_literal) {
+        arg->name = "{derive}";
+        return;
+      }
+    }
+  }
+  if (op == "and" || op == "or") {
+    for (auto& arg : root->args) {
+      if (!arg->is_literal) MarkDerive(arg.get());
+    }
+  }
+}
+
+}  // namespace
+
+Result<ProgramTemplate> AbstractSql(std::string_view query,
+                                    const Table& table) {
+  UCTR_ASSIGN_OR_RETURN(sql::SelectStatement stmt, sql::Parse(query));
+  SlotMap slots(table);
+  std::string reasoning = GuessSqlReasoningType(stmt);
+
+  for (auto& item : stmt.items) {
+    if (!item.column.empty()) item.column = slots.ColumnSlot(item.column);
+    if (!item.rhs_column.empty()) {
+      item.rhs_column = slots.ColumnSlot(item.rhs_column);
+    }
+  }
+  if (stmt.order_by) {
+    stmt.order_by->column = slots.ColumnSlot(stmt.order_by->column);
+  }
+  for (auto& cond : stmt.where) {
+    std::string original = cond.column;
+    cond.column = slots.ColumnSlot(original);
+    cond.literal = Value::String(slots.ValueSlot(original));
+  }
+  return ProgramTemplate::Make(ProgramType::kSql, stmt.ToString(), reasoning);
+}
+
+Result<ProgramTemplate> AbstractLogicalForm(std::string_view form,
+                                            const Table& table) {
+  UCTR_ASSIGN_OR_RETURN(auto node, logic::Parse(form));
+  SlotMap slots(table);
+  std::string reasoning = GuessLogicReasoningType(*node);
+  AbstractLogicNode(node.get(), &slots);
+  MarkDerive(node.get());
+  std::string pattern = node->ToString();
+  // Recover the derive column: the {cK} inside the hop/aggregate sibling is
+  // a better distractor source than nothing, but identifying it reliably
+  // requires the original binding; leave empty (numeric corruption covers
+  // most derived values).
+  return ProgramTemplate::Make(ProgramType::kLogicalForm, pattern, reasoning);
+}
+
+Result<ProgramTemplate> AbstractArithmetic(std::string_view text,
+                                           const Table& table) {
+  UCTR_ASSIGN_OR_RETURN(arith::Expression expr, arith::Parse(text));
+  SlotMap slots(table);
+  std::string reasoning = "arithmetic";
+  for (auto& step : expr.steps) {
+    if (StartsWith(step.op, "table_")) reasoning = "aggregation";
+    if (step.op == "greater") reasoning = "comparison";
+    for (auto& arg : step.args) {
+      if (arg.kind == arith::Operand::Kind::kCellRef) {
+        arg.column = slots.ColumnSlot(arg.column);
+        arg.row = slots.RowSlot(arg.row);
+      } else if (arg.kind == arith::Operand::Kind::kText) {
+        // Bare names in table_* ops are row names.
+        if (StartsWith(step.op, "table_")) {
+          arg.text = slots.RowSlot(arg.text);
+        }
+      }
+    }
+  }
+  return ProgramTemplate::Make(ProgramType::kArithmetic, expr.ToString(),
+                               reasoning);
+}
+
+std::vector<ProgramTemplate> CollectTemplates(
+    const std::vector<std::pair<Program, const Table*>>& programs) {
+  std::vector<ProgramTemplate> out;
+  for (const auto& [program, table] : programs) {
+    Result<ProgramTemplate> r = Status::Internal("unset");
+    switch (program.type) {
+      case ProgramType::kSql:
+        r = AbstractSql(program.text, *table);
+        break;
+      case ProgramType::kLogicalForm:
+        r = AbstractLogicalForm(program.text, *table);
+        break;
+      case ProgramType::kArithmetic:
+        r = AbstractArithmetic(program.text, *table);
+        break;
+    }
+    if (r.ok()) out.push_back(std::move(r).ValueOrDie());
+  }
+  return DeduplicateTemplates(std::move(out));
+}
+
+}  // namespace uctr

@@ -1,0 +1,37 @@
+#ifndef UCTR_PROGRAM_TEMPLATIZER_H_
+#define UCTR_PROGRAM_TEMPLATIZER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "program/template.h"
+#include "table/table.h"
+
+namespace uctr {
+
+/// \brief Abstracts a concrete program into a reusable template, replacing
+/// column names with typed column placeholders ({c1}, {c2:num}), cell
+/// values with value placeholders ({v1@c1}), row names with {r1}, and — for
+/// logical forms — the compared-against literal with {derive}.
+///
+/// This is the paper's template *collection* step (Section IV-B): given
+/// gold programs over their source tables (SQUALL / LOGIC2TEXT / FinQA),
+/// produce placeholdered templates that migrate to new tables. `table` is
+/// the program's original context, used to type columns and recognize
+/// which literals are cell values.
+Result<ProgramTemplate> AbstractSql(std::string_view query,
+                                    const Table& table);
+Result<ProgramTemplate> AbstractLogicalForm(std::string_view form,
+                                            const Table& table);
+Result<ProgramTemplate> AbstractArithmetic(std::string_view expr,
+                                           const Table& table);
+
+/// \brief Abstracts a batch of (program, context) pairs and drops
+/// duplicate patterns — the paper's redundancy filtration.
+std::vector<ProgramTemplate> CollectTemplates(
+    const std::vector<std::pair<Program, const Table*>>& programs);
+
+}  // namespace uctr
+
+#endif  // UCTR_PROGRAM_TEMPLATIZER_H_

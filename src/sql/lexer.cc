@@ -1,0 +1,200 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "common/numeric.h"
+#include "common/string_util.h"
+
+namespace uctr::sql {
+
+namespace {
+
+const char* kKeywords[] = {"SELECT", "FROM",  "WHERE", "AND",   "OR",
+                           "ORDER",  "BY",    "ASC",   "DESC",  "LIMIT",
+                           "COUNT",  "SUM",   "AVG",   "MIN",   "MAX",
+                           "DISTINCT"};
+
+bool IsKeyword(const std::string& upper) {
+  for (const char* k : kKeywords) {
+    if (upper == k) return true;
+  }
+  return false;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto push = [&](TokenType type, std::string text, size_t offset) {
+    Token t;
+    t.type = type;
+    t.text = std::move(text);
+    t.offset = offset;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (c == ',') {
+      push(TokenType::kComma, ",", start);
+      ++i;
+    } else if (c == '(') {
+      push(TokenType::kLParen, "(", start);
+      ++i;
+    } else if (c == ')') {
+      push(TokenType::kRParen, ")", start);
+      ++i;
+    } else if (c == '*') {
+      push(TokenType::kStar, "*", start);
+      ++i;
+    } else if (c == '+') {
+      push(TokenType::kPlus, "+", start);
+      ++i;
+    } else if (c == '=') {
+      push(TokenType::kEq, "=", start);
+      ++i;
+    } else if (c == '!') {
+      if (i + 1 < input.size() && input[i + 1] == '=') {
+        push(TokenType::kNe, "!=", start);
+        i += 2;
+      } else {
+        return Status::ParseError("stray '!' at offset " +
+                                  std::to_string(start));
+      }
+    } else if (c == '<') {
+      if (i + 1 < input.size() && input[i + 1] == '=') {
+        push(TokenType::kLe, "<=", start);
+        i += 2;
+      } else if (i + 1 < input.size() && input[i + 1] == '>') {
+        push(TokenType::kNe, "<>", start);
+        i += 2;
+      } else {
+        push(TokenType::kLt, "<", start);
+        ++i;
+      }
+    } else if (c == '>') {
+      if (i + 1 < input.size() && input[i + 1] == '=') {
+        push(TokenType::kGe, ">=", start);
+        i += 2;
+      } else {
+        push(TokenType::kGt, ">", start);
+        ++i;
+      }
+    } else if (c == '\'' || c == '"') {
+      char quote = c;
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < input.size()) {
+        if (input[i] == quote) {
+          if (i + 1 < input.size() && input[i + 1] == quote) {
+            text.push_back(quote);
+            i += 2;
+          } else {
+            ++i;
+            closed = true;
+            break;
+          }
+        } else {
+          text.push_back(input[i]);
+          ++i;
+        }
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string at offset " +
+                                  std::to_string(start));
+      }
+      push(TokenType::kString, std::move(text), start);
+    } else if (c == '[' || c == '`') {
+      char close = (c == '[') ? ']' : '`';
+      ++i;
+      std::string text;
+      while (i < input.size() && input[i] != close) {
+        text.push_back(input[i]);
+        ++i;
+      }
+      if (i >= input.size()) {
+        return Status::ParseError("unterminated identifier at offset " +
+                                  std::to_string(start));
+      }
+      ++i;  // consume closer
+      push(TokenType::kIdentifier, Trim(text), start);
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < input.size() &&
+                (std::isdigit(static_cast<unsigned char>(input[i + 1])) ||
+                 input[i + 1] == '.')) ||
+               (c == '.' && i + 1 < input.size() &&
+                std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      std::string text;
+      if (c == '-') {
+        text.push_back(c);
+        ++i;
+      }
+      bool seen_dot = false, seen_exp = false;
+      while (i < input.size()) {
+        char d = input[i];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          text.push_back(d);
+        } else if (d == '.' && !seen_dot && !seen_exp) {
+          seen_dot = true;
+          text.push_back(d);
+        } else if ((d == 'e' || d == 'E') && !seen_exp && !text.empty() &&
+                   std::isdigit(static_cast<unsigned char>(text.back()))) {
+          seen_exp = true;
+          text.push_back(d);
+          if (i + 1 < input.size() &&
+              (input[i + 1] == '+' || input[i + 1] == '-')) {
+            ++i;
+            text.push_back(input[i]);
+          }
+        } else {
+          break;
+        }
+        ++i;
+      }
+      auto value = ParseNumber(text);
+      if (!value) {
+        return Status::ParseError("malformed number '" + text +
+                                  "' at offset " + std::to_string(start));
+      }
+      Token t;
+      t.type = TokenType::kNumber;
+      t.text = text;
+      t.number = *value;
+      t.offset = start;
+      tokens.push_back(std::move(t));
+    } else if (c == '-') {
+      push(TokenType::kMinus, "-", start);
+      ++i;
+    } else if (IsIdentChar(c)) {
+      std::string text;
+      while (i < input.size() && IsIdentChar(input[i])) {
+        text.push_back(input[i]);
+        ++i;
+      }
+      std::string upper = ToUpper(text);
+      if (IsKeyword(upper)) {
+        push(TokenType::kKeyword, std::move(upper), start);
+      } else {
+        push(TokenType::kIdentifier, std::move(text), start);
+      }
+    } else {
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' at offset " + std::to_string(start));
+    }
+  }
+  push(TokenType::kEnd, "", input.size());
+  return tokens;
+}
+
+}  // namespace uctr::sql

@@ -1,0 +1,20 @@
+#ifndef UCTR_SQL_LEXER_H_
+#define UCTR_SQL_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace uctr::sql {
+
+/// \brief Tokenizes a SQL query string. The token list always ends with a
+/// kEnd sentinel. Keywords are recognized case-insensitively and uppercased;
+/// identifiers keep their original spelling ([brackets]/`backquotes` allow
+/// spaces, matching the SQUALL template rendering of real headers).
+Result<std::vector<Token>> Lex(std::string_view input);
+
+}  // namespace uctr::sql
+
+#endif  // UCTR_SQL_LEXER_H_

@@ -1,0 +1,196 @@
+#include "sql/parser.h"
+
+#include <vector>
+
+#include "sql/lexer.h"
+
+namespace uctr::sql {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> ParseSelect() {
+    UCTR_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    SelectStatement stmt;
+    while (true) {
+      UCTR_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      stmt.items.push_back(std::move(item));
+      if (!AcceptType(TokenType::kComma)) break;
+    }
+    UCTR_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error("expected table name after FROM");
+    }
+    Advance();  // table name is always the single table `w`; name ignored.
+
+    if (AcceptKeyword("WHERE")) {
+      while (true) {
+        UCTR_ASSIGN_OR_RETURN(Condition cond, ParseCondition());
+        stmt.where.push_back(std::move(cond));
+        if (!AcceptKeyword("AND")) break;
+      }
+    }
+    if (AcceptKeyword("ORDER")) {
+      UCTR_RETURN_NOT_OK(ExpectKeyword("BY"));
+      UCTR_ASSIGN_OR_RETURN(std::string col, ParseIdentifier());
+      OrderBy ob;
+      ob.column = std::move(col);
+      if (AcceptKeyword("DESC")) {
+        ob.descending = true;
+      } else {
+        AcceptKeyword("ASC");
+      }
+      stmt.order_by = std::move(ob);
+    }
+    if (AcceptKeyword("LIMIT")) {
+      if (Peek().type != TokenType::kNumber) {
+        return Error("expected number after LIMIT");
+      }
+      stmt.limit = static_cast<int64_t>(Peek().number);
+      Advance();
+    }
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing token '" + Peek().text + "'");
+    }
+    if (stmt.items.empty()) return Error("empty select list");
+    return stmt;
+  }
+
+ private:
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    const Token& t = Peek();
+    if (t.type == TokenType::kKeyword &&
+        (t.text == "COUNT" || t.text == "SUM" || t.text == "AVG" ||
+         t.text == "MIN" || t.text == "MAX")) {
+      if (t.text == "COUNT") item.agg = AggFunc::kCount;
+      if (t.text == "SUM") item.agg = AggFunc::kSum;
+      if (t.text == "AVG") item.agg = AggFunc::kAvg;
+      if (t.text == "MIN") item.agg = AggFunc::kMin;
+      if (t.text == "MAX") item.agg = AggFunc::kMax;
+      Advance();
+      if (!AcceptType(TokenType::kLParen)) {
+        return Error("expected '(' after aggregate");
+      }
+      if (AcceptType(TokenType::kStar)) {
+        if (item.agg != AggFunc::kCount) {
+          return Error("'*' only allowed in COUNT(*)");
+        }
+        item.star = true;
+      } else {
+        if (AcceptKeyword("DISTINCT")) item.distinct = true;
+        UCTR_ASSIGN_OR_RETURN(item.column, ParseIdentifier());
+      }
+      if (!AcceptType(TokenType::kRParen)) {
+        return Error("expected ')' after aggregate argument");
+      }
+      return item;
+    }
+    UCTR_ASSIGN_OR_RETURN(item.column, ParseIdentifier());
+    if (AcceptType(TokenType::kPlus)) {
+      item.arith = ArithOp::kAdd;
+      UCTR_ASSIGN_OR_RETURN(item.rhs_column, ParseIdentifier());
+    } else if (AcceptType(TokenType::kMinus)) {
+      item.arith = ArithOp::kSub;
+      UCTR_ASSIGN_OR_RETURN(item.rhs_column, ParseIdentifier());
+    }
+    return item;
+  }
+
+  Result<Condition> ParseCondition() {
+    Condition cond;
+    UCTR_ASSIGN_OR_RETURN(cond.column, ParseIdentifier());
+    switch (Peek().type) {
+      case TokenType::kEq:
+        cond.op = CmpOp::kEq;
+        break;
+      case TokenType::kNe:
+        cond.op = CmpOp::kNe;
+        break;
+      case TokenType::kLt:
+        cond.op = CmpOp::kLt;
+        break;
+      case TokenType::kGt:
+        cond.op = CmpOp::kGt;
+        break;
+      case TokenType::kLe:
+        cond.op = CmpOp::kLe;
+        break;
+      case TokenType::kGe:
+        cond.op = CmpOp::kGe;
+        break;
+      default:
+        return Error("expected comparison operator");
+    }
+    Advance();
+    const Token& lit = Peek();
+    if (lit.type == TokenType::kNumber) {
+      cond.literal = Value::NumberWithText(lit.number, lit.text);
+      Advance();
+    } else if (lit.type == TokenType::kString ||
+               lit.type == TokenType::kIdentifier) {
+      cond.literal = Value::FromText(lit.text);
+      Advance();
+    } else {
+      return Error("expected literal after comparison operator");
+    }
+    return cond;
+  }
+
+  Result<std::string> ParseIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error("expected identifier, got '" + Peek().text + "'");
+    }
+    std::string name = Peek().text;
+    Advance();
+    return name;
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool AcceptType(TokenType type) {
+    if (Peek().type == type) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptKeyword(const char* kw) {
+    if (Peek().type == TokenType::kKeyword && Peek().text == kw) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::ParseError(std::string("expected ") + kw + " near '" +
+                                Peek().text + "' at offset " +
+                                std::to_string(Peek().offset));
+    }
+    return Status::OK();
+  }
+  Status Error(std::string msg) const {
+    return Status::ParseError(msg + " at offset " +
+                              std::to_string(Peek().offset));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStatement> Parse(std::string_view query) {
+  UCTR_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(query));
+  Parser parser(std::move(tokens));
+  return parser.ParseSelect();
+}
+
+}  // namespace uctr::sql

@@ -1,0 +1,23 @@
+#ifndef UCTR_SQL_PARSER_H_
+#define UCTR_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace uctr::sql {
+
+/// \brief Parses a query in the supported SELECT subset:
+///
+///   SELECT item (, item)* FROM w
+///     [WHERE col op literal (AND col op literal)*]
+///     [ORDER BY col [ASC|DESC]] [LIMIT n]
+///
+/// where item is `col`, `AGG(col)`, `COUNT(*)`, `COUNT(DISTINCT col)`, or
+/// `col (+|-) col`, and AGG is COUNT/SUM/AVG/MIN/MAX.
+Result<SelectStatement> Parse(std::string_view query);
+
+}  // namespace uctr::sql
+
+#endif  // UCTR_SQL_PARSER_H_

@@ -1,0 +1,37 @@
+#ifndef UCTR_SQL_TOKEN_H_
+#define UCTR_SQL_TOKEN_H_
+
+#include <string>
+
+namespace uctr::sql {
+
+enum class TokenType {
+  kKeyword,     // SELECT, FROM, WHERE, ...
+  kIdentifier,  // column names, bare or [bracketed] / `backquoted`
+  kNumber,
+  kString,  // 'quoted' or "quoted"
+  kComma,
+  kLParen,
+  kRParen,
+  kStar,
+  kPlus,
+  kMinus,
+  kEq,  // =
+  kNe,  // != or <>
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // identifier/keyword (keywords uppercased) or literal
+  double number = 0;  // for kNumber
+  size_t offset = 0;  // byte offset in the source, for error messages
+};
+
+}  // namespace uctr::sql
+
+#endif  // UCTR_SQL_TOKEN_H_

@@ -1,0 +1,39 @@
+#ifndef UCTR_TABLE_EXEC_RESULT_H_
+#define UCTR_TABLE_EXEC_RESULT_H_
+
+#include <string>
+#include <vector>
+
+#include "table/value.h"
+
+namespace uctr {
+
+/// \brief Output of executing any program on a table.
+///
+/// `values` is the answer (one Value for scalar programs, several for
+/// multi-row SELECTs). `evidence_rows` are the paper's "highlighted cells"
+/// at row granularity: the rows that actually participated in the result,
+/// consumed by the Table-To-Text splitting operator.
+struct ExecResult {
+  std::vector<Value> values;
+  std::vector<size_t> evidence_rows;
+
+  bool empty() const { return values.empty(); }
+
+  /// \brief Single scalar view (first value); Null when empty.
+  Value scalar() const { return values.empty() ? Value::Null() : values[0]; }
+
+  /// \brief Canonical display: values joined by ", ".
+  std::string ToDisplayString() const {
+    std::string out;
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += values[i].ToDisplayString();
+    }
+    return out;
+  }
+};
+
+}  // namespace uctr
+
+#endif  // UCTR_TABLE_EXEC_RESULT_H_

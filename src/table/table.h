@@ -1,0 +1,137 @@
+#ifndef UCTR_TABLE_TABLE_H_
+#define UCTR_TABLE_TABLE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "table/value.h"
+
+namespace uctr {
+
+/// \brief Declared type of a column, inferred from its cells.
+enum class ColumnType {
+  kText = 0,
+  kNumber,
+  kBool,
+};
+
+const char* ColumnTypeToString(ColumnType type);
+
+/// \brief One column: a header name plus an inferred type.
+struct ColumnSpec {
+  std::string name;
+  ColumnType type = ColumnType::kText;
+};
+
+/// \brief Ordered set of columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnSpec> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnSpec& column(size_t i) const { return columns_[i]; }
+  ColumnSpec* mutable_column(size_t i) { return &columns_[i]; }
+  const std::vector<ColumnSpec>& columns() const { return columns_; }
+
+  /// \brief Case-insensitive lookup by header name.
+  Result<size_t> ColumnIndex(std::string_view name) const;
+  bool HasColumn(std::string_view name) const;
+
+  void AddColumn(ColumnSpec spec) { columns_.push_back(std::move(spec)); }
+
+ private:
+  std::vector<ColumnSpec> columns_;
+};
+
+/// \brief A relational table: schema + rows of Values, the "program context"
+/// of the paper. Row 0 of the paper's relational tables is a record; the
+/// first column frequently acts as the row name (TAT-QA line items).
+class Table {
+ public:
+  using Row = std::vector<Value>;
+
+  Table() = default;
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  /// \brief Parses CSV text (first line = header) and infers column types.
+  /// Handles quoted fields with embedded commas/quotes.
+  static Result<Table> FromCsv(std::string_view csv,
+                               std::string name = "table");
+
+  /// \brief Builds a table from a header and rows of raw strings.
+  static Result<Table> FromStrings(
+      const std::vector<std::string>& header,
+      const std::vector<std::vector<std::string>>& rows,
+      std::string name = "table");
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return schema_.num_columns(); }
+  bool empty() const { return rows_.empty(); }
+
+  const Row& row(size_t r) const { return rows_[r]; }
+  const Value& cell(size_t r, size_t c) const { return rows_[r][c]; }
+  Value* mutable_cell(size_t r, size_t c) { return &rows_[r][c]; }
+
+  Result<size_t> ColumnIndex(std::string_view name) const {
+    return schema_.ColumnIndex(name);
+  }
+
+  /// \brief All values of one column, in row order.
+  std::vector<Value> ColumnValues(size_t c) const;
+
+  /// \brief Cell addressed by row name (matched against the first column,
+  /// case-insensitive substring fallback) and column header.
+  Result<Value> CellByNames(std::string_view row_name,
+                            std::string_view col_name) const;
+
+  /// \brief Index of the row whose first-column value matches `row_name`
+  /// (exact case-insensitive first, then unique-substring fallback).
+  Result<size_t> RowIndexByName(std::string_view row_name) const;
+
+  /// \brief Appends a row. Fails unless the width matches the schema.
+  Status AppendRow(Row row);
+
+  /// \brief Appends a column filled with `fill` (defaults to null) and
+  /// re-infers its type. Fails on duplicate header names.
+  Status AppendColumn(const std::string& name, const Value& fill = Value());
+
+  /// \brief A new table containing only `row_indices` (in the given order).
+  Table SubTable(const std::vector<size_t>& row_indices) const;
+
+  /// \brief A new table with row `r` removed.
+  Table WithoutRow(size_t r) const;
+
+  /// \brief Re-runs column type inference (after edits).
+  void InferColumnTypes();
+
+  /// \brief Indices of columns with the given type.
+  std::vector<size_t> ColumnsOfType(ColumnType type) const;
+
+  /// \brief Serializes back to CSV (quoting where needed).
+  std::string ToCsv() const;
+
+  /// \brief Markdown rendering for examples and logs.
+  std::string ToMarkdown() const;
+
+  /// \brief Flat textual form used by model feature extraction, e.g.
+  /// "col: year is 2019 ; col: revenue is $1,234 | ...".
+  std::string Linearize(size_t max_rows = 64) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace uctr
+
+#endif  // UCTR_TABLE_TABLE_H_

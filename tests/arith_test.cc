@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "arith/executor.h"
+#include "arith/parser.h"
+#include "tests/test_util.h"
+
+namespace uctr::arith {
+namespace {
+
+using uctr::testing::MakeFinanceTable;
+
+Value Exec(const std::string& program, const Table& t) {
+  return ExecuteExpression(program, t).ValueOrDie().scalar();
+}
+
+// ---------------------------------------------------------------- Parser
+
+TEST(ArithParserTest, ParsesStepChain) {
+  auto expr = Parse("subtract(2019 of revenue, 2018 of revenue), "
+                    "divide(#0, 2018 of revenue)")
+                  .ValueOrDie();
+  ASSERT_EQ(expr.steps.size(), 2u);
+  EXPECT_EQ(expr.steps[0].op, "subtract");
+  ASSERT_EQ(expr.steps[1].args.size(), 2u);
+  EXPECT_EQ(expr.steps[1].args[0].kind, Operand::Kind::kStepRef);
+  EXPECT_EQ(expr.steps[1].args[0].step_ref, 0u);
+}
+
+TEST(ArithParserTest, ParsesCellRefs) {
+  auto expr = Parse("add(2019 of gross profit, 5)").ValueOrDie();
+  const Operand& op = expr.steps[0].args[0];
+  EXPECT_EQ(op.kind, Operand::Kind::kCellRef);
+  EXPECT_EQ(op.column, "2019");
+  EXPECT_EQ(op.row, "gross profit");
+  EXPECT_EQ(expr.steps[0].args[1].kind, Operand::Kind::kConst);
+}
+
+TEST(ArithParserTest, CellRefSplitsOnLastOf) {
+  auto expr = Parse("add(share of revenue of 2019, 1)").ValueOrDie();
+  const Operand& op = expr.steps[0].args[0];
+  EXPECT_EQ(op.kind, Operand::Kind::kCellRef);
+  EXPECT_EQ(op.column, "share of revenue");
+  EXPECT_EQ(op.row, "2019");
+}
+
+TEST(ArithParserTest, ParsesFinqaConstants) {
+  auto expr = Parse("add(const_100, const_3)").ValueOrDie();
+  EXPECT_DOUBLE_EQ(expr.steps[0].args[0].constant, 100.0);
+  EXPECT_DOUBLE_EQ(expr.steps[0].args[1].constant, 3.0);
+}
+
+TEST(ArithParserTest, RejectsForwardReferences) {
+  EXPECT_FALSE(Parse("divide(#1, 2), add(1, 2)").ok());
+  // #0 inside the first step points at itself: also rejected.
+  EXPECT_FALSE(Parse("multiply(#0, 2)").ok());
+}
+
+TEST(ArithParserTest, RejectsUnknownOps) {
+  EXPECT_FALSE(Parse("frobnicate(1, 2)").ok());
+  EXPECT_FALSE(Parse("add(1, 2").ok());
+  EXPECT_FALSE(Parse("").ok());
+}
+
+TEST(ArithParserTest, ToStringRoundTrips) {
+  const char* p = "subtract(2019 of revenue, 2018 of revenue), "
+                  "divide(#0, const_100)";
+  auto expr = Parse(p).ValueOrDie();
+  auto again = Parse(expr.ToString()).ValueOrDie();
+  EXPECT_EQ(expr.ToString(), again.ToString());
+}
+
+// -------------------------------------------------------------- Executor
+
+TEST(ArithExecTest, PercentageChangeIdiom) {
+  Table t = MakeFinanceTable();
+  // (1200.5 - 1000) / 1000 = 0.2005
+  Value v = Exec(
+      "subtract(2019 of revenue, 2018 of revenue), "
+      "divide(#0, 2018 of revenue)",
+      t);
+  EXPECT_NEAR(v.number(), 0.2005, 1e-9);
+}
+
+TEST(ArithExecTest, BasicOps) {
+  Table t = MakeFinanceTable();
+  EXPECT_DOUBLE_EQ(Exec("add(2, 3)", t).number(), 5.0);
+  EXPECT_DOUBLE_EQ(Exec("subtract(2, 3)", t).number(), -1.0);
+  EXPECT_DOUBLE_EQ(Exec("multiply(2, 3)", t).number(), 6.0);
+  EXPECT_DOUBLE_EQ(Exec("divide(7, 2)", t).number(), 3.5);
+  EXPECT_DOUBLE_EQ(Exec("exp(2, 10)", t).number(), 1024.0);
+}
+
+TEST(ArithExecTest, GreaterYieldsBool) {
+  Table t = MakeFinanceTable();
+  Value v = Exec("greater(2019 of revenue, 2018 of revenue)", t);
+  EXPECT_TRUE(v.is_bool());
+  EXPECT_TRUE(v.boolean());
+  EXPECT_FALSE(Exec("greater(1, 2)", t).boolean());
+}
+
+TEST(ArithExecTest, TableAggregationsOverRow) {
+  Table t = MakeFinanceTable();
+  // Row "revenue" numeric cells: 1200.5 and 1000.0.
+  EXPECT_DOUBLE_EQ(Exec("table_max(revenue)", t).number(), 1200.5);
+  EXPECT_DOUBLE_EQ(Exec("table_min(revenue)", t).number(), 1000.0);
+  EXPECT_DOUBLE_EQ(Exec("table_sum(revenue)", t).number(), 2200.5);
+  EXPECT_DOUBLE_EQ(Exec("table_average(revenue)", t).number(), 1100.25);
+}
+
+TEST(ArithExecTest, TableAggregationFallsBackToColumn) {
+  Table t = MakeFinanceTable();
+  // No row named "2019"; the column with that header is used instead.
+  EXPECT_DOUBLE_EQ(Exec("table_sum(2019)", t).number(),
+                   1200.5 + 800 + 400.5 + 2500);
+}
+
+TEST(ArithExecTest, ChainedReferences) {
+  Table t = MakeFinanceTable();
+  Value v = Exec("add(1, 2), add(#0, 10), multiply(#1, #0)", t);
+  EXPECT_DOUBLE_EQ(v.number(), 39.0);  // (1+2)=3, 3+10=13, 13*3
+}
+
+TEST(ArithExecTest, EvidenceRowsFromCellRefs) {
+  Table t = MakeFinanceTable();
+  auto r = ExecuteExpression(
+               "subtract(2019 of stockholders' equity, "
+               "2018 of stockholders' equity)",
+               t)
+               .ValueOrDie();
+  ASSERT_EQ(r.evidence_rows.size(), 1u);
+  EXPECT_EQ(r.evidence_rows[0], 3u);
+  EXPECT_DOUBLE_EQ(r.scalar().number(), 500.0);
+}
+
+TEST(ArithExecTest, ErrorPaths) {
+  Table t = MakeFinanceTable();
+  EXPECT_FALSE(ExecuteExpression("divide(1, 0)", t).ok());
+  EXPECT_FALSE(ExecuteExpression("add(2019 of dividends, 1)", t).ok());
+  EXPECT_FALSE(ExecuteExpression("table_sum(item)", t).ok());  // text column
+  EXPECT_FALSE(ExecuteExpression("add(hello, 1)", t).ok());
+  EXPECT_FALSE(ExecuteExpression("exp(10, 10000)", t).ok());  // overflow
+}
+
+}  // namespace
+}  // namespace uctr::arith

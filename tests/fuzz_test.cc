@@ -1,0 +1,141 @@
+// Failure-injection / fuzz-style tests: every parser and executor must
+// return an error Status (never crash, hang, or corrupt memory) on
+// arbitrary malformed input, including adversarially nested programs.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "arith/executor.h"
+#include "arith/parser.h"
+#include "gen/serialize.h"
+#include "logic/executor.h"
+#include "logic/parser.h"
+#include "program/template.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "table/table.h"
+#include "tests/test_util.h"
+
+namespace uctr {
+namespace {
+
+/// Random byte soup biased toward the grammar's special characters so the
+/// fuzz inputs reach deep parser states.
+std::string RandomGarbage(Rng* rng, size_t max_len) {
+  static const char kAlphabet[] =
+      "{};,()[]'\"<>=!#@. abcdefgSELECT FROM WHERE eq hop count all_rows "
+      "filter_ subtract divide 0123456789-";
+  size_t len = rng->Index(max_len) + 1;
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kAlphabet[rng->Index(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  Rng rng_{GetParam() * 7919 + 17};
+};
+
+TEST_P(FuzzTest, SqlParserNeverCrashes) {
+  Table t = testing::MakeNationsTable();
+  for (int i = 0; i < 300; ++i) {
+    std::string input = RandomGarbage(&rng_, 120);
+    auto parsed = sql::Parse(input);
+    if (parsed.ok()) {
+      // Whatever parsed must also execute or fail cleanly.
+      (void)sql::Execute(parsed.ValueOrDie(), t);
+    }
+  }
+}
+
+TEST_P(FuzzTest, LogicParserNeverCrashes) {
+  Table t = testing::MakeNationsTable();
+  for (int i = 0; i < 300; ++i) {
+    std::string input = RandomGarbage(&rng_, 120);
+    auto parsed = logic::Parse(input);
+    if (parsed.ok()) {
+      (void)logic::Execute(*parsed.ValueOrDie(), t);
+    }
+  }
+}
+
+TEST_P(FuzzTest, ArithParserNeverCrashes) {
+  Table t = testing::MakeNationsTable();
+  for (int i = 0; i < 300; ++i) {
+    std::string input = RandomGarbage(&rng_, 120);
+    auto parsed = arith::Parse(input);
+    if (parsed.ok()) {
+      (void)arith::Execute(parsed.ValueOrDie(), t);
+    }
+  }
+}
+
+TEST_P(FuzzTest, CsvParserNeverCrashes) {
+  for (int i = 0; i < 300; ++i) {
+    (void)Table::FromCsv(RandomGarbage(&rng_, 200));
+  }
+}
+
+TEST_P(FuzzTest, JsonReaderNeverCrashes) {
+  for (int i = 0; i < 300; ++i) {
+    (void)SampleFromJson(RandomGarbage(&rng_, 200));
+  }
+}
+
+TEST_P(FuzzTest, TemplatePatternsNeverCrash) {
+  for (int i = 0; i < 200; ++i) {
+    (void)ProgramTemplate::Make(ProgramType::kLogicalForm,
+                                RandomGarbage(&rng_, 120));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range<uint64_t>(0, 8));
+
+// --------------------------------------------------- adversarial nesting
+
+TEST(AdversarialTest, DeeplyNestedLogicalFormRejected) {
+  std::string bomb;
+  for (int i = 0; i < 100000; ++i) bomb += "a { ";
+  auto r = logic::Parse(bomb);
+  EXPECT_FALSE(r.ok());  // depth guard, not a stack overflow
+}
+
+TEST(AdversarialTest, DeeplyNestedJsonRejected) {
+  std::string bomb(100000, '[');
+  EXPECT_FALSE(SampleFromJson(bomb).ok());
+}
+
+TEST(AdversarialTest, HugeFlatLogicalFormStillParses) {
+  // Breadth (many siblings) is fine; only depth is bounded.
+  std::string wide = "and { eq { 1 ; 1 } ; eq { 1 ; 1 } }";
+  EXPECT_TRUE(logic::Parse(wide).ok());
+  std::string deep_ok = "eq { count { filter_eq { filter_greater { "
+                        "filter_less { all_rows ; a ; 1 } ; b ; 2 } ; c ; 3 "
+                        "} } ; 4 }";
+  EXPECT_TRUE(logic::Parse(deep_ok).ok());
+}
+
+TEST(AdversarialTest, SqlWithManyConditionsParses) {
+  std::string query = "SELECT nation FROM w WHERE gold = '1'";
+  for (int i = 0; i < 500; ++i) query += " AND gold = '1'";
+  EXPECT_TRUE(sql::Parse(query).ok());  // WHERE is iterative, not recursive
+}
+
+TEST(AdversarialTest, ArithWithManySteps) {
+  std::string program = "add(1, 2)";
+  for (int i = 0; i < 500; ++i) {
+    program += ", add(#" + std::to_string(i) + ", 1)";
+  }
+  auto parsed = arith::Parse(program);
+  ASSERT_TRUE(parsed.ok());
+  Table t = testing::MakeNationsTable();
+  EXPECT_DOUBLE_EQ(arith::Execute(parsed.ValueOrDie(), t)->scalar().number(),
+                   503.0);
+}
+
+}  // namespace
+}  // namespace uctr

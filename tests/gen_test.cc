@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/generator.h"
+#include "gen/sample.h"
+#include "program/library.h"
+#include "tests/test_util.h"
+
+namespace uctr {
+namespace {
+
+using testing::MakeFinanceTable;
+using testing::MakeNationsTable;
+
+TableWithText NationsInput() {
+  TableWithText input;
+  input.table = MakeNationsTable();
+  input.paragraph = {
+      "For the nation italy, the gold was 3, the silver was 4, the bronze "
+      "was 5 and the total was 12.",
+      "The games were held in the summer.",
+  };
+  return input;
+}
+
+TEST(GeneratorTest, QaSamplesHaveConsistentAnswers) {
+  Rng rng(42);
+  TemplateLibrary lib = TemplateLibrary::Builtin();
+  GenerationConfig config;
+  config.task = TaskType::kQuestionAnswering;
+  config.program_types = {ProgramType::kSql};
+  config.samples_per_table = 12;
+  config.use_table_to_text = false;
+  config.use_text_to_table = false;
+  Generator gen(config, &lib, &rng);
+
+  TableWithText input;
+  input.table = MakeNationsTable();
+  auto samples = gen.GenerateFromTable(input);
+  ASSERT_GE(samples.size(), 8u);
+  for (const Sample& s : samples) {
+    EXPECT_EQ(s.task, TaskType::kQuestionAnswering);
+    EXPECT_FALSE(s.sentence.empty());
+    EXPECT_FALSE(s.answer.empty());
+    EXPECT_EQ(s.source, EvidenceSource::kTableOnly);
+    // The recorded answer re-derives from the program on the sample table.
+    auto r = s.program.Execute(s.table);
+    ASSERT_TRUE(r.ok()) << s.program.text;
+    EXPECT_EQ(r->ToDisplayString(), s.answer);
+  }
+}
+
+TEST(GeneratorTest, FactVerificationLabelsAreBalancedAndCorrect) {
+  Rng rng(7);
+  TemplateLibrary lib = TemplateLibrary::Builtin();
+  GenerationConfig config;
+  config.task = TaskType::kFactVerification;
+  config.program_types = {ProgramType::kLogicalForm};
+  config.samples_per_table = 40;
+  config.use_table_to_text = false;
+  config.use_text_to_table = false;
+  Generator gen(config, &lib, &rng);
+
+  TableWithText input;
+  input.table = MakeNationsTable();
+  auto samples = gen.GenerateFromTable(input);
+  ASSERT_GE(samples.size(), 25u);
+  size_t supported = 0;
+  for (const Sample& s : samples) {
+    // Label must equal the program's execution on the evidence table.
+    auto r = s.program.Execute(s.table);
+    ASSERT_TRUE(r.ok()) << s.program.text;
+    Label expected =
+        r->scalar().boolean() ? Label::kSupported : Label::kRefuted;
+    EXPECT_EQ(s.label, expected) << s.sentence;
+    if (s.label == Label::kSupported) ++supported;
+  }
+  // Both labels occur in reasonable proportion.
+  EXPECT_GT(supported, samples.size() / 5);
+  EXPECT_LT(supported, samples.size() * 4 / 5);
+}
+
+TEST(GeneratorTest, TableSplittingMovesEvidenceIntoText) {
+  Rng rng(11);
+  TemplateLibrary lib = TemplateLibrary::Builtin();
+  GenerationConfig config;
+  config.task = TaskType::kQuestionAnswering;
+  config.program_types = {ProgramType::kSql};
+  config.samples_per_table = 30;
+  config.use_table_to_text = true;
+  config.use_text_to_table = false;
+  config.hybrid_fraction = 1.0;
+  Generator gen(config, &lib, &rng);
+
+  TableWithText input;
+  input.table = MakeNationsTable();
+  auto samples = gen.GenerateFromTable(input);
+  size_t split = 0;
+  for (const Sample& s : samples) {
+    // A split sample lands in kTableSplit, or kTextOnly when its entire
+    // evidence moved into the generated sentence.
+    if (s.source != EvidenceSource::kTableSplit &&
+        s.source != EvidenceSource::kTextOnly) {
+      continue;
+    }
+    ++split;
+    // The sub-table lost a row and the paragraph describes it.
+    EXPECT_EQ(s.table.num_rows(), input.table.num_rows() - 1);
+    ASSERT_EQ(s.paragraph.size(), 1u);
+    EXPECT_FALSE(s.paragraph[0].empty());
+    // The question is generally NOT answerable from the sub-table alone
+    // with the same result; the program was executed on the full table.
+    auto full = s.program.Execute(input.table);
+    ASSERT_TRUE(full.ok());
+    EXPECT_EQ(full->ToDisplayString(), s.answer);
+  }
+  EXPECT_GT(split, 5u);
+}
+
+TEST(GeneratorTest, TableExpansionUsesTextEvidence) {
+  Rng rng(13);
+  TemplateLibrary lib = TemplateLibrary::Builtin();
+  GenerationConfig config;
+  config.task = TaskType::kQuestionAnswering;
+  config.program_types = {ProgramType::kSql};
+  config.samples_per_table = 40;
+  config.max_attempts = 30;
+  config.use_table_to_text = false;
+  config.use_text_to_table = true;
+  config.hybrid_fraction = 1.0;
+  Generator gen(config, &lib, &rng);
+
+  auto samples = gen.GenerateFromTable(NationsInput());
+  size_t expanded = 0;
+  for (const Sample& s : samples) {
+    if (s.source != EvidenceSource::kTableExpand) continue;
+    ++expanded;
+    // Evidence is the ORIGINAL table + paragraph; the program needs the
+    // row that only exists in the expanded table.
+    EXPECT_EQ(s.table.num_rows(), 5u);
+    EXPECT_EQ(s.paragraph.size(), 2u);
+  }
+  EXPECT_GT(expanded, 3u);
+}
+
+TEST(GeneratorTest, UnknownSamplesComeFromEvidenceSwap) {
+  Rng rng(17);
+  TemplateLibrary lib = TemplateLibrary::Builtin();
+  GenerationConfig config;
+  config.task = TaskType::kFactVerification;
+  config.program_types = {ProgramType::kLogicalForm};
+  config.samples_per_table = 10;
+  config.unknown_fraction = 0.3;
+  config.use_table_to_text = false;
+  config.use_text_to_table = false;
+  Generator gen(config, &lib, &rng);
+
+  TableWithText a;
+  a.table = MakeNationsTable();
+  a.table.set_name("nations");
+  TableWithText b;
+  b.table = MakeFinanceTable();
+  b.table.set_name("finance");
+  Dataset dataset = gen.GenerateDataset({a, b});
+  EXPECT_GT(dataset.CountLabel(Label::kUnknown), 0u);
+  EXPECT_GT(dataset.CountLabel(Label::kSupported), 0u);
+  EXPECT_GT(dataset.CountLabel(Label::kRefuted), 0u);
+}
+
+TEST(GeneratorTest, SentencesAreUniquePerTable) {
+  Rng rng(19);
+  TemplateLibrary lib = TemplateLibrary::Builtin();
+  GenerationConfig config;
+  config.task = TaskType::kQuestionAnswering;
+  config.program_types = {ProgramType::kSql, ProgramType::kArithmetic};
+  config.samples_per_table = 20;
+  Generator gen(config, &lib, &rng);
+
+  TableWithText input;
+  input.table = MakeFinanceTable();
+  auto samples = gen.GenerateFromTable(input);
+  std::set<std::string> sentences;
+  for (const Sample& s : samples) sentences.insert(s.sentence);
+  EXPECT_EQ(sentences.size(), samples.size());
+}
+
+TEST(GeneratorTest, ReasoningTypeDiversity) {
+  Rng rng(23);
+  TemplateLibrary lib = TemplateLibrary::Builtin();
+  GenerationConfig config;
+  config.task = TaskType::kFactVerification;
+  config.program_types = {ProgramType::kLogicalForm};
+  config.samples_per_table = 60;
+  config.max_attempts = 20;
+  Generator gen(config, &lib, &rng);
+
+  TableWithText input;
+  input.table = MakeNationsTable();
+  auto samples = gen.GenerateFromTable(input);
+  std::set<std::string> kinds;
+  for (const Sample& s : samples) kinds.insert(s.reasoning_type);
+  // Complex generation spans many reasoning types (the paper's key claim
+  // vs. MQA-QG's single-row questions).
+  EXPECT_GE(kinds.size(), 5u);
+}
+
+TEST(DatasetTest, SummaryCountsAreConsistent) {
+  Rng rng(29);
+  TemplateLibrary lib = TemplateLibrary::Builtin();
+  GenerationConfig config;
+  config.task = TaskType::kFactVerification;
+  config.program_types = {ProgramType::kLogicalForm};
+  config.samples_per_table = 10;
+  Generator gen(config, &lib, &rng);
+
+  TableWithText input;
+  input.table = MakeNationsTable();
+  Dataset d = gen.GenerateDataset({input});
+  EXPECT_EQ(d.CountLabel(Label::kSupported) + d.CountLabel(Label::kRefuted) +
+                d.CountLabel(Label::kUnknown),
+            d.size());
+  std::string summary = d.Summary();
+  EXPECT_NE(summary.find("samples:"), std::string::npos);
+  EXPECT_NE(summary.find("by label:"), std::string::npos);
+}
+
+TEST(GeneratorTest, MismatchedTaskAndProgramTypeYieldsNothing) {
+  Rng rng(31);
+  TemplateLibrary lib = TemplateLibrary::Builtin();
+  GenerationConfig config;
+  config.task = TaskType::kFactVerification;
+  config.program_types = {ProgramType::kSql};  // wrong family
+  config.samples_per_table = 5;
+  Generator gen(config, &lib, &rng);
+  TableWithText input;
+  input.table = MakeNationsTable();
+  EXPECT_TRUE(gen.GenerateFromTable(input).empty());
+}
+
+}  // namespace
+}  // namespace uctr

@@ -1,0 +1,114 @@
+// Tests of the bench-harness utilities (they feed every experiment, so
+// they get their own coverage): evidence-stripping views, subsampling,
+// bucketized QA evaluation, and synthetic-data preparation.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bench/harness.h"
+#include "tests/test_util.h"
+
+namespace uctr::bench {
+namespace {
+
+datasets::Benchmark TinyBench(Rng* rng) {
+  datasets::BenchmarkScale scale;
+  scale.unlabeled_tables = 6;
+  scale.gold_train_tables = 4;
+  scale.eval_tables = 4;
+  scale.gold_samples_per_table = 5;
+  scale.eval_samples_per_table = 5;
+  return datasets::MakeTatQaSim(scale, rng);
+}
+
+TEST(HarnessTest, PctFormatting) {
+  EXPECT_EQ(Pct(0.624), "62.4");
+  EXPECT_EQ(Pct(0.0), "0.0");
+  EXPECT_EQ(Pct(1.0), "100.0");
+}
+
+TEST(HarnessTest, EmF1CellFormatting) {
+  eval::EmF1 scores;
+  scores.em = 0.307;
+  scores.f1 = 0.324;
+  EXPECT_EQ(EmF1Cell(scores), "30.7 / 32.4");
+}
+
+TEST(HarnessTest, SubsampleSizesAndMembership) {
+  Rng rng(3);
+  datasets::Benchmark bench = TinyBench(&rng);
+  ASSERT_GE(bench.gold_train.size(), 10u);
+  Dataset sub = Subsample(bench.gold_train, 7, &rng);
+  EXPECT_EQ(sub.size(), 7u);
+  // Every subsampled sentence exists in the source.
+  std::set<std::string> source;
+  for (const Sample& s : bench.gold_train.samples) source.insert(s.sentence);
+  for (const Sample& s : sub.samples) EXPECT_TRUE(source.count(s.sentence));
+  // Requesting more than available returns everything.
+  Dataset all = Subsample(bench.gold_train, 10000, &rng);
+  EXPECT_EQ(all.size(), bench.gold_train.size());
+}
+
+TEST(HarnessTest, EvidenceViewsStripTheRightSide) {
+  Rng rng(5);
+  datasets::Benchmark bench = TinyBench(&rng);
+  Dataset table_only = TableOnlyView(bench.gold_train);
+  for (const Sample& s : table_only.samples) {
+    EXPECT_TRUE(s.paragraph.empty());
+    EXPECT_GT(s.table.num_rows(), 0u);
+  }
+  Dataset text_only = SentenceOnlyView(bench.gold_train);
+  for (size_t i = 0; i < text_only.samples.size(); ++i) {
+    EXPECT_EQ(text_only.samples[i].table.num_rows(), 0u);
+    // Provenance (table name) survives for the retrieval stage.
+    EXPECT_EQ(text_only.samples[i].table.name(),
+              bench.gold_train.samples[i].table.name());
+  }
+}
+
+TEST(HarnessTest, EvaluateQaBucketsPartitionTotals) {
+  Rng rng(7);
+  datasets::Benchmark bench = TinyBench(&rng);
+  auto templates = QuestionTemplatesFor(bench.program_types);
+  model::QaModel qa_model = TrainQa(bench.gold_train, templates, &rng);
+  QaBucketScores scores = EvaluateQa(qa_model, bench.gold_dev);
+
+  size_t n_table = bench.gold_dev.CountSource(EvidenceSource::kTableOnly);
+  size_t n_tt = bench.gold_dev.CountSource(EvidenceSource::kTableSplit) +
+                bench.gold_dev.CountSource(EvidenceSource::kTableExpand);
+  size_t n_text = bench.gold_dev.CountSource(EvidenceSource::kTextOnly);
+  size_t n = bench.gold_dev.size();
+  ASSERT_EQ(n_table + n_tt + n_text, n);
+  // Total EM is the sample-weighted mean of the bucket EMs.
+  double reconstructed =
+      (scores.table.em * n_table + scores.table_text.em * n_tt +
+       scores.text.em * n_text) /
+      static_cast<double>(n);
+  EXPECT_NEAR(scores.total.em, reconstructed, 1e-9);
+}
+
+TEST(HarnessTest, GenerateUctrRespectsHybridSwitch) {
+  Rng rng(9);
+  datasets::Benchmark bench = TinyBench(&rng);
+  Dataset hybrid = GenerateUctr(bench, true, bench.program_types, 6, &rng);
+  Dataset flat = GenerateUctr(bench, false, bench.program_types, 6, &rng);
+  size_t hybrid_sources =
+      hybrid.CountSource(EvidenceSource::kTableSplit) +
+      hybrid.CountSource(EvidenceSource::kTableExpand) +
+      hybrid.CountSource(EvidenceSource::kTextOnly);
+  EXPECT_GT(hybrid_sources, 0u);
+  EXPECT_EQ(flat.CountSource(EvidenceSource::kTableSplit), 0u);
+  EXPECT_EQ(flat.CountSource(EvidenceSource::kTableExpand), 0u);
+}
+
+TEST(HarnessTest, QuestionTemplatesForFiltersByType) {
+  auto sql_only = QuestionTemplatesFor({ProgramType::kSql});
+  for (const auto& t : sql_only) EXPECT_EQ(t.type, ProgramType::kSql);
+  auto both =
+      QuestionTemplatesFor({ProgramType::kSql, ProgramType::kArithmetic});
+  EXPECT_GT(both.size(), sql_only.size());
+}
+
+}  // namespace
+}  // namespace uctr::bench

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "hybrid/table_to_text.h"
+#include "hybrid/text_to_table.h"
+#include "tests/test_util.h"
+
+namespace uctr::hybrid {
+namespace {
+
+using uctr::testing::MakeFinanceTable;
+using uctr::testing::MakeNationsTable;
+
+// ----------------------------------------------------------- TableToText
+
+TEST(TableToTextTest, DescribesRowWithAllCells) {
+  Table t = MakeNationsTable();
+  TableToText op;
+  std::string s = op.DescribeRow(t, 1, nullptr).ValueOrDie();
+  EXPECT_NE(s.find("china"), std::string::npos);
+  EXPECT_NE(s.find("gold"), std::string::npos);
+  EXPECT_NE(s.find("8"), std::string::npos);
+  EXPECT_NE(s.find("24"), std::string::npos);
+  EXPECT_EQ(s.back(), '.');
+}
+
+TEST(TableToTextTest, ApplySplitsTable) {
+  Table t = MakeNationsTable();
+  TableToText op;
+  auto r = op.Apply(t, 0, nullptr).ValueOrDie();
+  EXPECT_EQ(r.sub_table.num_rows(), 4u);
+  EXPECT_EQ(r.source_row, 0u);
+  EXPECT_NE(r.sentence.find("united states"), std::string::npos);
+  // The removed row is no longer in the sub-table.
+  EXPECT_FALSE(r.sub_table.RowIndexByName("united states").ok());
+}
+
+TEST(TableToTextTest, SentenceCoversRowFilter) {
+  Table t = MakeNationsTable();
+  EXPECT_TRUE(SentenceCoversRow(
+      t, 1, "For the nation china, gold 8, silver 6, bronze 10, total 24."));
+  EXPECT_FALSE(SentenceCoversRow(t, 1, "China won 8 gold medals."));
+}
+
+TEST(TableToTextTest, ApplyToEvidencePrefersValidRows) {
+  Table t = MakeNationsTable();
+  TableToText op;
+  Rng rng(3);
+  auto r = op.ApplyToEvidence(t, {2, 4}, &rng).ValueOrDie();
+  EXPECT_TRUE(r.source_row == 2 || r.source_row == 4);
+}
+
+TEST(TableToTextTest, ErrorsOnDegenerateInputs) {
+  Table t = MakeNationsTable();
+  TableToText op;
+  EXPECT_FALSE(op.Apply(t, 99, nullptr).ok());
+  EXPECT_FALSE(op.ApplyToEvidence(t, {}, nullptr).ok());
+  auto tiny = Table::FromCsv("a,b\nx,1\n").ValueOrDie();
+  EXPECT_FALSE(op.ApplyToEvidence(tiny, {0}, nullptr).ok());
+}
+
+TEST(TableToTextTest, FinanceRowKeepsMoneyFormatting) {
+  Table t = MakeFinanceTable();
+  TableToText op;
+  std::string s = op.DescribeRow(t, 0, nullptr).ValueOrDie();
+  EXPECT_NE(s.find("$1,200.5"), std::string::npos);
+}
+
+// ----------------------------------------------------------- TextToTable
+
+TEST(TextToTableTest, FilterFindsHeaderMentions) {
+  Table t = MakeFinanceTable();
+  TextToTable op;
+  std::vector<std::string> sentences = {
+      "The company performed well.",
+      "In 2019, results improved again.",
+      "Nothing to see here.",
+  };
+  auto relevant = op.FilterRelevantSentences(t, sentences);
+  ASSERT_EQ(relevant.size(), 1u);
+  EXPECT_EQ(relevant[0], 1u);
+}
+
+TEST(TextToTableTest, ExtractsRecordFromDescribeEntShape) {
+  Table t = MakeNationsTable();
+  TextToTable op;
+  std::vector<std::string> sentences = {
+      "For the nation italy, the gold was 3, the silver was 4 and the "
+      "total was 12.",
+  };
+  auto record = op.ExtractRecord(t, sentences).ValueOrDie();
+  EXPECT_EQ(record.row_name, "italy");
+  EXPECT_EQ(record.fields.at("gold"), "3");
+  EXPECT_EQ(record.fields.at("silver"), "4");
+  EXPECT_EQ(record.fields.at("total"), "12");
+}
+
+TEST(TextToTableTest, ExtractsFromSubjectVerbShape) {
+  Table t = MakeFinanceTable();
+  TextToTable op;
+  std::vector<std::string> sentences = {
+      "In the prior period, operating expenses was 120 in 2019 and 100 in "
+      "2018.",
+  };
+  // Headers "2019" and "2018" appear; values follow "in <year>"? No —
+  // this shape puts the value BEFORE the header, so extraction finds the
+  // value after the header mention instead. Use the canonical generated
+  // shape to verify end-to-end behaviour:
+  sentences = {"operating expenses recorded 2019 of 120 and 2018 of 100."};
+  auto record = op.ExtractRecord(t, sentences).ValueOrDie();
+  EXPECT_EQ(record.row_name, "operating expenses");
+  EXPECT_EQ(record.fields.at("2019"), "120");
+  EXPECT_EQ(record.fields.at("2018"), "100");
+}
+
+TEST(TextToTableTest, NumericColumnRejectsTextValues) {
+  Table t = MakeNationsTable();
+  TextToTable op;
+  std::vector<std::string> sentences = {
+      "For the nation spain, the gold was unknown and the total was 9.",
+  };
+  auto record = op.ExtractRecord(t, sentences).ValueOrDie();
+  EXPECT_EQ(record.fields.count("gold"), 0u);
+  EXPECT_EQ(record.fields.at("total"), "9");
+}
+
+TEST(TextToTableTest, ExpandAppendsNewRow) {
+  Table t = MakeNationsTable();
+  TextToTable op;
+  ExtractedRecord record;
+  record.row_name = "italy";
+  record.fields = {{"gold", "3"}, {"total", "12"}};
+  Table expanded = op.Expand(t, record).ValueOrDie();
+  ASSERT_EQ(expanded.num_rows(), 6u);
+  size_t r = expanded.RowIndexByName("italy").ValueOrDie();
+  EXPECT_DOUBLE_EQ(expanded.cell(r, 1).number(), 3.0);
+  EXPECT_TRUE(expanded.cell(r, 2).is_null());  // silver not extracted
+  EXPECT_DOUBLE_EQ(expanded.cell(r, 4).number(), 12.0);
+}
+
+TEST(TextToTableTest, ExpandMergesIntoExistingRow) {
+  auto t = Table::FromCsv(
+      "item,2019,2018\nrevenue,100,\ncost,80,70\n").ValueOrDie();
+  TextToTable op;
+  ExtractedRecord record;
+  record.row_name = "revenue";
+  record.fields = {{"2018", "90"}, {"2019", "999"}};
+  Table expanded = op.Expand(t, record).ValueOrDie();
+  EXPECT_EQ(expanded.num_rows(), 2u);
+  size_t r = expanded.RowIndexByName("revenue").ValueOrDie();
+  // Null 2018 filled; existing 2019 kept.
+  EXPECT_DOUBLE_EQ(expanded.cell(r, 2).number(), 90.0);
+  EXPECT_DOUBLE_EQ(expanded.cell(r, 1).number(), 100.0);
+}
+
+TEST(TextToTableTest, ExpandRejectsUselessRecords) {
+  Table t = MakeNationsTable();
+  TextToTable op;
+  ExtractedRecord empty;
+  empty.row_name = "x";
+  EXPECT_FALSE(op.Expand(t, empty).ok());
+
+  ExtractedRecord unknown_col;
+  unknown_col.row_name = "x";
+  unknown_col.fields = {{"platinum", "1"}};
+  EXPECT_FALSE(op.Expand(t, unknown_col).ok());
+
+  ExtractedRecord no_new_info;
+  no_new_info.row_name = "china";
+  no_new_info.fields = {{"gold", "9"}};  // cell already populated
+  EXPECT_FALSE(op.Expand(t, no_new_info).ok());
+}
+
+TEST(TextToTableTest, SharedRowNameIntegratesNewColumns) {
+  // Paper Section III-B: integration works through a shared row name OR
+  // shared column names. A record about an existing row may carry columns
+  // the table lacks; they become new schema columns.
+  auto t = Table::FromCsv(
+      "item,2019\nrevenue,100\ncost,80\n").ValueOrDie();
+  TextToTable op;
+  ExtractedRecord record;
+  record.row_name = "revenue";
+  record.fields = {{"2018", "90"}};  // column not in the table
+  Table expanded = op.Expand(t, record).ValueOrDie();
+  ASSERT_EQ(expanded.num_columns(), 3u);
+  size_t c = expanded.ColumnIndex("2018").ValueOrDie();
+  size_t r = expanded.RowIndexByName("revenue").ValueOrDie();
+  EXPECT_DOUBLE_EQ(expanded.cell(r, c).number(), 90.0);
+  // Other rows get nulls in the new column.
+  size_t cost = expanded.RowIndexByName("cost").ValueOrDie();
+  EXPECT_TRUE(expanded.cell(cost, c).is_null());
+
+  // Without a shared row name, unknown columns cannot integrate.
+  ExtractedRecord orphan;
+  orphan.row_name = "dividends";
+  orphan.fields = {{"2017", "5"}};
+  EXPECT_FALSE(op.Expand(t, orphan).ok());
+}
+
+TEST(TableTest2, AppendColumnBasics) {
+  auto t = Table::FromCsv("a,b\nx,1\ny,2\n").ValueOrDie();
+  ASSERT_TRUE(t.AppendColumn("c").ok());
+  EXPECT_EQ(t.num_columns(), 3u);
+  EXPECT_TRUE(t.cell(0, 2).is_null());
+  EXPECT_FALSE(t.AppendColumn("B").ok());  // duplicate, case-insensitive
+  EXPECT_FALSE(t.AppendColumn("  ").ok());
+  ASSERT_TRUE(t.AppendColumn("d", Value::Number(7)).ok());
+  EXPECT_DOUBLE_EQ(t.cell(1, 3).number(), 7.0);
+  EXPECT_EQ(t.schema().column(3).type, ColumnType::kNumber);
+}
+
+TEST(TextToTableTest, RoundTripWithTableToText) {
+  // Table-To-Text then Text-To-Table recovers the removed row.
+  Table t = MakeNationsTable();
+  TableToText describe;
+  auto split = describe.Apply(t, 2, nullptr).ValueOrDie();  // japan
+  TextToTable op;
+  Table expanded = op.Apply(split.sub_table, {split.sentence}).ValueOrDie();
+  ASSERT_EQ(expanded.num_rows(), 5u);
+  size_t r = expanded.RowIndexByName("japan").ValueOrDie();
+  EXPECT_DOUBLE_EQ(expanded.cell(r, 1).number(), 5.0);   // gold
+  EXPECT_DOUBLE_EQ(expanded.cell(r, 4).number(), 18.0);  // total
+}
+
+TEST(TextToTableTest, ApplyFailsWhenNothingExtractable) {
+  Table t = MakeNationsTable();
+  TextToTable op;
+  EXPECT_FALSE(op.Apply(t, {"Completely unrelated text."}).ok());
+}
+
+}  // namespace
+}  // namespace uctr::hybrid

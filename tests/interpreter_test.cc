@@ -1,0 +1,161 @@
+// Focused unit tests of NlInterpreter slot binding: type constraints,
+// distinct-column assignment, value coverage thresholds, ordinals, and
+// ranking behaviour.
+
+#include <gtest/gtest.h>
+
+#include "model/interpreter.h"
+#include "program/library.h"
+#include "program/template.h"
+#include "tests/test_util.h"
+
+namespace uctr::model {
+namespace {
+
+using uctr::testing::MakeFinanceTable;
+using uctr::testing::MakeNationsTable;
+
+NlInterpreter SingleTemplate(const char* pattern, const char* reasoning = "",
+                             ProgramType type = ProgramType::kLogicalForm) {
+  auto tmpl = ProgramTemplate::Make(type, pattern, reasoning).ValueOrDie();
+  return NlInterpreter({tmpl});
+}
+
+TEST(InterpreterBindingTest, TypeConstraintExcludesTextColumns) {
+  Table t = MakeNationsTable();
+  NlInterpreter interp = SingleTemplate(
+      "eq { max { all_rows ; {c1:num} } ; {derive} }");
+  // "nation" is mentioned but is a text column; "gold" must win.
+  auto r = interp.Interpret("The highest gold in any nation is 10.", t,
+                            TaskType::kFactVerification);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->bindings.at("c1"), "gold");
+  EXPECT_TRUE(r->result.scalar().boolean());
+}
+
+TEST(InterpreterBindingTest, DistinctColumnsForDistinctSlots) {
+  Table t = MakeNationsTable();
+  NlInterpreter interp = SingleTemplate(
+      "eq { hop { filter_eq { all_rows ; {c1} ; {v1@c1} } ; {c2} } ; "
+      "{derive} }");
+  auto r = interp.Interpret(
+      "The silver of the row whose nation is china is 6.", t,
+      TaskType::kFactVerification);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->bindings.at("c1"), "nation");
+  EXPECT_EQ(r->bindings.at("c2"), "silver");
+  EXPECT_NE(r->bindings.at("c1"), r->bindings.at("c2"));
+}
+
+TEST(InterpreterBindingTest, ValueMustBeMentioned) {
+  Table t = MakeNationsTable();
+  NlInterpreter interp = SingleTemplate(
+      "eq { count { filter_eq { all_rows ; {c1} ; {v1@c1} } } ; {derive} }");
+  // No cell value of any column appears in this sentence.
+  auto r = interp.Interpret("The number of rows is 5.", t,
+                            TaskType::kFactVerification);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(InterpreterBindingTest, MultiTokenValueBinds) {
+  Table t = MakeNationsTable();
+  NlInterpreter interp = SingleTemplate(
+      "eq { hop { filter_eq { all_rows ; {c1:text} ; {v1@c1} } ; {c2} } ; "
+      "{derive} }");
+  auto r = interp.Interpret(
+      "The total of the row whose nation is united states is 30.", t,
+      TaskType::kFactVerification);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->bindings.at("v1"), "united states");
+  EXPECT_TRUE(r->result.scalar().boolean());
+}
+
+TEST(InterpreterBindingTest, OrdinalWordsBind) {
+  Table t = MakeNationsTable();
+  NlInterpreter interp = SingleTemplate(
+      "eq { hop { nth_argmax { all_rows ; {c1:num} ; {ord1} } ; {c2} } ; "
+      "{derive} }");
+  auto r = interp.Interpret(
+      "The nation with the 3rd highest total is japan.", t,
+      TaskType::kFactVerification);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->bindings.at("ord1"), "3");
+  EXPECT_TRUE(r->result.scalar().boolean());
+
+  auto spelled = interp.Interpret(
+      "The nation with the second highest total is china.", t,
+      TaskType::kFactVerification);
+  ASSERT_TRUE(spelled.ok());
+  EXPECT_EQ(spelled->bindings.at("ord1"), "2");
+}
+
+TEST(InterpreterBindingTest, NoOrdinalMentionFailsOrdinalSlot) {
+  Table t = MakeNationsTable();
+  NlInterpreter interp = SingleTemplate(
+      "eq { nth_max { all_rows ; {c1:num} ; {ord1} } ; {derive} }");
+  EXPECT_FALSE(interp.Interpret("The highest gold is 10.", t,
+                                TaskType::kFactVerification)
+                   .ok());
+}
+
+TEST(InterpreterBindingTest, ClaimTemplatesIgnoreQuestions) {
+  Table t = MakeNationsTable();
+  NlInterpreter claims(BuiltinLogicTemplates());
+  EXPECT_TRUE(claims
+                  .RankAll("Which nation has the highest gold?", t,
+                           TaskType::kQuestionAnswering)
+                  .empty());
+  NlInterpreter questions(BuiltinSqlTemplates());
+  EXPECT_TRUE(questions
+                  .RankAll("The gold of china is 8.", t,
+                           TaskType::kFactVerification)
+                  .empty());
+}
+
+TEST(InterpreterBindingTest, RankingPrefersBetterCoverage) {
+  Table t = MakeNationsTable();
+  NlInterpreter interp(BuiltinLogicTemplates());
+  auto ranked = interp.RankAll(
+      "The number of rows whose gold is greater than 5 is 2.", t,
+      TaskType::kFactVerification);
+  ASSERT_GE(ranked.size(), 2u);
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].score, ranked[i].score);
+  }
+  // The top reading is the count-greater template.
+  EXPECT_NE(ranked[0].program.text.find("count"), std::string::npos);
+  EXPECT_NE(ranked[0].program.text.find("filter_greater"),
+            std::string::npos);
+}
+
+TEST(InterpreterBindingTest, MoneyValuesBindOnFinanceTables) {
+  Table t = MakeFinanceTable();
+  NlInterpreter interp = SingleTemplate(
+      "eq { hop { filter_eq { all_rows ; {c1:text} ; {v1@c1} } ; {c2} } ; "
+      "{derive} }");
+  auto r = interp.Interpret(
+      "The 2019 of the row whose item is gross profit is 400.5.", t,
+      TaskType::kFactVerification);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->result.scalar().boolean());
+}
+
+TEST(InterpreterBindingTest, ClaimedValueHandlesHedgesAndNegation) {
+  EXPECT_EQ(NlInterpreter::ClaimedValue("The total is about 30."), "30");
+  EXPECT_EQ(NlInterpreter::ClaimedValue("The total is roughly 30."), "30");
+  EXPECT_EQ(NlInterpreter::ClaimedValue("The total is not 30."), "30");
+  EXPECT_EQ(NlInterpreter::ClaimedValue("The counts were 1 and it is 2!"),
+            "2");
+}
+
+TEST(InterpreterBindingTest, EmptyTableYieldsNoInterpretations) {
+  Table empty;
+  NlInterpreter interp(BuiltinLogicTemplates());
+  EXPECT_TRUE(interp
+                  .RankAll("The gold of china is 8.", empty,
+                           TaskType::kFactVerification)
+                  .empty());
+}
+
+}  // namespace
+}  // namespace uctr::model

@@ -1,0 +1,341 @@
+#include <gtest/gtest.h>
+
+#include "gen/generator.h"
+#include "model/features.h"
+#include "model/interpreter.h"
+#include "model/linear_model.h"
+#include "model/qa_model.h"
+#include "model/verifier.h"
+#include "program/library.h"
+#include "tests/test_util.h"
+
+namespace uctr::model {
+namespace {
+
+using uctr::testing::MakeFinanceTable;
+using uctr::testing::MakeNationsTable;
+
+// ------------------------------------------------------------ LinearModel
+
+TEST(LinearModelTest, LearnsSeparableProblem) {
+  // Class = which of two indicator features is on.
+  Rng rng(5);
+  std::vector<Example> train;
+  for (int i = 0; i < 200; ++i) {
+    bool positive = rng.Bernoulli(0.5);
+    Example ex;
+    ex.features.push_back({HashFeature(positive ? "a" : "b"), 1.0f});
+    ex.features.push_back({HashFeature("noise" + std::to_string(
+                               rng.UniformInt(0, 20))), 1.0f});
+    ex.label = positive ? 1 : 0;
+    train.push_back(std::move(ex));
+  }
+  LinearModel model(2, 1u << 12);
+  TrainConfig config;
+  model.Train(train, config, &rng);
+  EXPECT_GT(model.Evaluate(train), 0.95);
+}
+
+TEST(LinearModelTest, MulticlassProbabilitiesSumToOne) {
+  LinearModel model(4, 1u << 10);
+  FeatureVector f = {{1, 1.0f}, {2, 0.5f}};
+  auto probs = model.Probabilities(f);
+  double total = 0;
+  for (double p : probs) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(probs.size(), 4u);
+}
+
+TEST(LinearModelTest, ContinuedTrainingImproves) {
+  Rng rng(7);
+  std::vector<Example> train;
+  for (int i = 0; i < 100; ++i) {
+    bool positive = i % 2 == 0;
+    Example ex;
+    ex.features.push_back({HashFeature(positive ? "x" : "y"), 1.0f});
+    ex.label = positive ? 1 : 0;
+    train.push_back(std::move(ex));
+  }
+  LinearModel model(2, 1u << 10);
+  TrainConfig config;
+  config.epochs = 1;
+  model.Train(train, config, &rng);
+  double acc1 = model.Evaluate(train);
+  model.Train(train, config, &rng);  // continue
+  EXPECT_GE(model.Evaluate(train), acc1);
+}
+
+// ------------------------------------------------------------ Interpreter
+
+NlInterpreter ClaimInterpreter() {
+  return NlInterpreter(BuiltinLogicTemplates());
+}
+
+NlInterpreter QuestionInterpreter() {
+  auto templates = BuiltinSqlTemplates();
+  for (auto& t : BuiltinArithTemplates()) templates.push_back(std::move(t));
+  return NlInterpreter(std::move(templates));
+}
+
+TEST(InterpreterTest, ClaimedValueExtraction) {
+  EXPECT_EQ(NlInterpreter::ClaimedValue("The gold of china is 8."), "8");
+  EXPECT_EQ(NlInterpreter::ClaimedValue("The average gold is about 6."),
+            "6");
+  EXPECT_EQ(NlInterpreter::ClaimedValue(
+                "The nation with the highest total is united states."),
+            "united states");
+  EXPECT_EQ(NlInterpreter::ClaimedValue("No copula here"), "");
+}
+
+TEST(InterpreterTest, InterpretsTrueClaimAsTrue) {
+  Table t = MakeNationsTable();
+  NlInterpreter interp = ClaimInterpreter();
+  auto r = interp.Interpret(
+      "The gold of the row whose nation is china is 8.", t,
+      TaskType::kFactVerification);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->result.scalar().boolean());
+  EXPECT_GT(r->score, 0.7);
+}
+
+TEST(InterpreterTest, InterpretsFalseClaimAsFalse) {
+  Table t = MakeNationsTable();
+  NlInterpreter interp = ClaimInterpreter();
+  auto r = interp.Interpret(
+      "The gold of the row whose nation is china is 11.", t,
+      TaskType::kFactVerification);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->result.scalar().boolean());
+}
+
+TEST(InterpreterTest, InterpretsCountClaim) {
+  Table t = MakeNationsTable();
+  NlInterpreter interp = ClaimInterpreter();
+  auto r = interp.Interpret(
+      "The number of rows whose gold is greater than 5 is 2.", t,
+      TaskType::kFactVerification);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->result.scalar().boolean());
+}
+
+TEST(InterpreterTest, AnswersSuperlativeQuestion) {
+  Table t = MakeNationsTable();
+  NlInterpreter interp = QuestionInterpreter();
+  auto r = interp.Interpret("Which nation has the highest total?", t,
+                            TaskType::kQuestionAnswering);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->result.ToDisplayString(), "united states");
+}
+
+TEST(InterpreterTest, AnswersLookupQuestion) {
+  Table t = MakeNationsTable();
+  NlInterpreter interp = QuestionInterpreter();
+  auto r = interp.Interpret(
+      "What is the silver of the row whose nation is japan?", t,
+      TaskType::kQuestionAnswering);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->result.ToDisplayString(), "9");
+}
+
+TEST(InterpreterTest, AnswersArithmeticQuestion) {
+  Table t = MakeFinanceTable();
+  NlInterpreter interp = QuestionInterpreter();
+  auto r = interp.Interpret(
+      "By what percentage change did the revenue move from 2018 to 2019?",
+      t, TaskType::kQuestionAnswering);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->result.scalar().number(), 0.2005, 1e-6);
+}
+
+TEST(InterpreterTest, FailsOnUnrelatedSentence) {
+  Table t = MakeNationsTable();
+  NlInterpreter interp = ClaimInterpreter();
+  auto r = interp.Interpret("The weather in berlin is pleasant today.", t,
+                            TaskType::kFactVerification);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(InterpreterTest, GeneratedClaimsRoundTrip) {
+  // Claims produced by the generator should be re-interpreted with the
+  // label the generator assigned (canonical NL, no noise).
+  Rng rng(3);
+  TemplateLibrary lib = TemplateLibrary::Builtin();
+  GenerationConfig config;
+  config.task = TaskType::kFactVerification;
+  config.program_types = {ProgramType::kLogicalForm};
+  config.samples_per_table = 30;
+  config.use_table_to_text = false;
+  config.use_text_to_table = false;
+  config.nl.stochastic = false;
+  Generator gen(config, &lib, &rng);
+  TableWithText input;
+  input.table = MakeNationsTable();
+  auto samples = gen.GenerateFromTable(input);
+  ASSERT_GE(samples.size(), 15u);
+
+  NlInterpreter interp = ClaimInterpreter();
+  size_t agree = 0, interpreted = 0;
+  for (const auto& s : samples) {
+    auto r = interp.Interpret(s.sentence, s.table,
+                              TaskType::kFactVerification);
+    if (!r.ok()) continue;
+    ++interpreted;
+    Label predicted = r->result.scalar().boolean() ? Label::kSupported
+                                                   : Label::kRefuted;
+    if (predicted == s.label) ++agree;
+  }
+  ASSERT_GT(interpreted, samples.size() / 2);
+  EXPECT_GT(static_cast<double>(agree) / interpreted, 0.8);
+}
+
+// --------------------------------------------------------------- Features
+
+TEST(FeatureTest, HashIsStable) {
+  EXPECT_EQ(HashFeature("abc"), HashFeature("abc"));
+  EXPECT_NE(HashFeature("abc"), HashFeature("abd"));
+}
+
+TEST(FeatureTest, ExtractsLexicalAndAlignment) {
+  FeatureConfig config;
+  config.interpreter = false;
+  FeatureExtractor extractor(config, nullptr);
+  Sample s;
+  s.task = TaskType::kFactVerification;
+  s.table = MakeNationsTable();
+  s.sentence = "The gold of china is 8.";
+  FeatureVector f = extractor.Extract(s);
+  EXPECT_GT(f.size(), 8u);  // bias + unigrams + bigrams + alignment
+}
+
+TEST(FeatureTest, NumericMismatchSignal) {
+  FeatureConfig config;
+  config.interpreter = false;
+  config.lexical = false;
+  FeatureExtractor extractor(config, nullptr);
+  Sample good;
+  good.task = TaskType::kFactVerification;
+  good.table = MakeNationsTable();
+  good.sentence = "china won 8 gold";  // 8 matches a cell
+  Sample bad = good;
+  bad.sentence = "china won 77 gold";  // 77 matches nothing
+
+  auto has_miss = [&](const Sample& s) {
+    FeatureVector f = extractor.Extract(s);
+    uint32_t idx = HashFeature("align:has_num_miss") % config.dim;
+    for (const Feature& feat : f) {
+      if (feat.index == idx) return true;
+    }
+    return false;
+  };
+  EXPECT_FALSE(has_miss(good));
+  EXPECT_TRUE(has_miss(bad));
+}
+
+// ----------------------------------------------------- Verifier end-to-end
+
+Dataset MakeClaimDataset(const Table& table, size_t n, uint64_t seed,
+                         bool stochastic_nl) {
+  Rng rng(seed);
+  TemplateLibrary lib = TemplateLibrary::Builtin();
+  GenerationConfig config;
+  config.task = TaskType::kFactVerification;
+  config.program_types = {ProgramType::kLogicalForm};
+  config.samples_per_table = n;
+  config.use_table_to_text = false;
+  config.use_text_to_table = false;
+  config.nl.stochastic = stochastic_nl;
+  Generator gen(config, &lib, &rng);
+  TableWithText input;
+  input.table = table;
+  Dataset d;
+  d.samples = gen.GenerateFromTable(input);
+  return d;
+}
+
+TEST(VerifierModelTest, TrainedModelBeatsChanceOnHeldOutTable) {
+  Dataset train = MakeClaimDataset(MakeNationsTable(), 60, 1, true);
+  Dataset test = MakeClaimDataset(MakeFinanceTable(), 40, 2, true);
+  ASSERT_GE(train.size(), 30u);
+  ASSERT_GE(test.size(), 15u);
+
+  VerifierConfig config;
+  config.train.epochs = 6;
+  VerifierModel model(config, BuiltinLogicTemplates());
+  Rng rng(9);
+  model.Train(train, &rng);
+  double acc = model.Accuracy(test);
+  EXPECT_GT(acc, 0.6) << "accuracy " << acc;
+}
+
+TEST(VerifierModelTest, UntrainedModelIsChance) {
+  Dataset test = MakeClaimDataset(MakeNationsTable(), 30, 3, true);
+  VerifierConfig config;
+  VerifierModel model(config, BuiltinLogicTemplates());
+  double acc = model.Accuracy(test);
+  EXPECT_LT(acc, 0.8);  // untrained weights: no better than guessing
+}
+
+// ----------------------------------------------------------- QA end-to-end
+
+Dataset MakeQaDataset(const Table& table, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  TemplateLibrary lib = TemplateLibrary::Builtin();
+  GenerationConfig config;
+  config.task = TaskType::kQuestionAnswering;
+  config.program_types = {ProgramType::kSql};
+  config.samples_per_table = n;
+  config.use_table_to_text = false;
+  config.use_text_to_table = false;
+  Generator gen(config, &lib, &rng);
+  TableWithText input;
+  input.table = table;
+  Dataset d;
+  d.samples = gen.GenerateFromTable(input);
+  return d;
+}
+
+TEST(QaModelTest, AnswersHeldOutQuestions) {
+  Dataset train = MakeQaDataset(MakeNationsTable(), 40, 4);
+  Dataset test = MakeQaDataset(MakeFinanceTable(), 25, 5);
+  ASSERT_GE(test.size(), 10u);
+
+  QaConfig config;
+  QaModel model(config, BuiltinSqlTemplates());
+  Rng rng(11);
+  model.Train(train, &rng);
+  size_t correct = 0;
+  for (const Sample& s : test.samples) {
+    if (model.PredictCorrect(s)) ++correct;
+  }
+  double acc = static_cast<double>(correct) / test.size();
+  EXPECT_GE(acc, 0.35) << "denotation accuracy " << acc;
+}
+
+TEST(QaModelTest, TextOnlyBaselineIsWeaker) {
+  Dataset test = MakeQaDataset(MakeNationsTable(), 25, 6);
+  QaConfig table_config;
+  QaModel table_model(table_config, BuiltinSqlTemplates());
+  QaConfig text_config;
+  text_config.use_table = false;
+  QaModel text_model(text_config, BuiltinSqlTemplates());
+
+  size_t table_correct = 0, text_correct = 0;
+  for (const Sample& s : test.samples) {
+    if (table_model.PredictCorrect(s)) ++table_correct;
+    if (text_model.PredictCorrect(s)) ++text_correct;
+  }
+  EXPECT_GT(table_correct, text_correct);
+}
+
+TEST(QaModelTest, AnswersMatchNumericTolerance) {
+  EXPECT_TRUE(AnswersMatch("8", "8"));
+  EXPECT_TRUE(AnswersMatch("$1,200.5", "1200.5"));
+  EXPECT_TRUE(AnswersMatch("0.2005", "20.05"));  // percent scale
+  EXPECT_TRUE(AnswersMatch("China", "china"));
+  EXPECT_FALSE(AnswersMatch("8", "9"));
+  EXPECT_FALSE(AnswersMatch("", "8"));
+  EXPECT_TRUE(AnswersMatch("", ""));
+}
+
+}  // namespace
+}  // namespace uctr::model

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "datasets/corpus.h"
+#include "gen/parallel.h"
+#include "program/library.h"
+
+namespace uctr {
+namespace {
+
+std::vector<TableWithText> MakeCorpus(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  datasets::CorpusConfig config;
+  config.num_tables = n;
+  datasets::CorpusGenerator gen(config, &rng);
+  return gen.Generate();
+}
+
+GenerationConfig FvConfig() {
+  GenerationConfig config;
+  config.task = TaskType::kFactVerification;
+  config.program_types = {ProgramType::kLogicalForm};
+  config.samples_per_table = 8;
+  config.unknown_fraction = 0.1;
+  return config;
+}
+
+std::string Fingerprint(const Dataset& data) {
+  std::string out;
+  for (const Sample& s : data.samples) {
+    out += s.sentence + "|" + LabelToString(s.label) + "|" +
+           s.program.text + "\n";
+  }
+  return out;
+}
+
+TEST(ParallelGenerationTest, OutputIndependentOfThreadCount) {
+  auto corpus = MakeCorpus(5, 8);
+  static const TemplateLibrary& library = TemplateLibrary::Builtin();
+  GenerationConfig config = FvConfig();
+
+  Dataset one = GenerateDatasetParallel(config, &library, corpus, 99, 1);
+  Dataset four = GenerateDatasetParallel(config, &library, corpus, 99, 4);
+  Dataset many = GenerateDatasetParallel(config, &library, corpus, 99, 16);
+  ASSERT_GT(one.size(), 30u);
+  EXPECT_EQ(Fingerprint(one), Fingerprint(four));
+  EXPECT_EQ(Fingerprint(one), Fingerprint(many));
+}
+
+TEST(ParallelGenerationTest, DifferentSeedsDiffer) {
+  auto corpus = MakeCorpus(5, 4);
+  static const TemplateLibrary& library = TemplateLibrary::Builtin();
+  GenerationConfig config = FvConfig();
+  Dataset a = GenerateDatasetParallel(config, &library, corpus, 1, 4);
+  Dataset b = GenerateDatasetParallel(config, &library, corpus, 2, 4);
+  EXPECT_NE(Fingerprint(a), Fingerprint(b));
+}
+
+TEST(ParallelGenerationTest, UnknownPostPassApplied) {
+  auto corpus = MakeCorpus(7, 6);
+  static const TemplateLibrary& library = TemplateLibrary::Builtin();
+  GenerationConfig config = FvConfig();
+  Dataset data = GenerateDatasetParallel(config, &library, corpus, 3, 4);
+  EXPECT_GT(data.CountLabel(Label::kUnknown), 0u);
+}
+
+TEST(ParallelGenerationTest, HandlesDegenerateInputs) {
+  static const TemplateLibrary& library = TemplateLibrary::Builtin();
+  GenerationConfig config = FvConfig();
+  Dataset empty =
+      GenerateDatasetParallel(config, &library, {}, 1, 4);
+  EXPECT_TRUE(empty.empty());
+
+  auto corpus = MakeCorpus(9, 2);
+  Dataset zero_threads =
+      GenerateDatasetParallel(config, &library, corpus, 1, 0);
+  EXPECT_GT(zero_threads.size(), 0u);  // clamped to one thread
+}
+
+}  // namespace
+}  // namespace uctr

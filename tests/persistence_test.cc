@@ -1,0 +1,136 @@
+// Tests of model persistence: trained weights survive a save/load round
+// trip with identical predictions.
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.h"
+#include "model/linear_model.h"
+#include "model/qa_model.h"
+#include "model/verifier.h"
+#include "program/library.h"
+#include "tests/test_util.h"
+
+namespace uctr::model {
+namespace {
+
+using uctr::testing::MakeFinanceTable;
+using uctr::testing::MakeNationsTable;
+
+std::vector<Example> ToyExamples(Rng* rng, int n) {
+  std::vector<Example> out;
+  for (int i = 0; i < n; ++i) {
+    bool positive = rng->Bernoulli(0.5);
+    Example ex;
+    ex.features.push_back({HashFeature(positive ? "pos" : "neg"), 1.0f});
+    ex.features.push_back(
+        {HashFeature("noise" + std::to_string(rng->UniformInt(0, 9))),
+         1.0f});
+    ex.label = positive ? 1 : 0;
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+TEST(PersistenceTest, LinearModelRoundTripsExactly) {
+  Rng rng(3);
+  auto examples = ToyExamples(&rng, 150);
+  LinearModel model(2, 1u << 12);
+  TrainConfig config;
+  model.Train(examples, config, &rng);
+
+  std::string saved = model.SaveToString();
+  LinearModel restored = LinearModel::LoadFromString(saved).ValueOrDie();
+  EXPECT_EQ(restored.num_classes(), model.num_classes());
+  EXPECT_EQ(restored.dim(), model.dim());
+  for (const Example& ex : examples) {
+    EXPECT_EQ(restored.Predict(ex.features), model.Predict(ex.features));
+    auto p1 = model.Probabilities(ex.features);
+    auto p2 = restored.Probabilities(ex.features);
+    for (size_t c = 0; c < p1.size(); ++c) {
+      EXPECT_NEAR(p1[c], p2[c], 1e-6);
+    }
+  }
+}
+
+TEST(PersistenceTest, ContinuedTrainingAfterLoadWorks) {
+  Rng rng(5);
+  auto examples = ToyExamples(&rng, 100);
+  LinearModel model(2, 1u << 10);
+  TrainConfig config;
+  config.epochs = 2;
+  model.Train(examples, config, &rng);
+  LinearModel restored =
+      LinearModel::LoadFromString(model.SaveToString()).ValueOrDie();
+  // AdaGrad state survived, so continued training behaves sensibly.
+  double before = restored.Evaluate(examples);
+  restored.Train(examples, config, &rng);
+  EXPECT_GE(restored.Evaluate(examples), before - 1e-9);
+}
+
+TEST(PersistenceTest, LoadRejectsGarbage) {
+  EXPECT_FALSE(LinearModel::LoadFromString("").ok());
+  EXPECT_FALSE(LinearModel::LoadFromString("hello world").ok());
+  EXPECT_FALSE(
+      LinearModel::LoadFromString("uctr_linear_model v1\n2\n").ok());
+  EXPECT_FALSE(LinearModel::LoadFromString(
+                   "uctr_linear_model v1\n2 16\n1\n99 1.0\n0\n")
+                   .ok());  // in range? 99 >= 2*16 -> out of range
+}
+
+TEST(PersistenceTest, VerifierWeightsRoundTrip) {
+  Rng rng(7);
+  TemplateLibrary lib = TemplateLibrary::Builtin();
+  GenerationConfig config;
+  config.task = TaskType::kFactVerification;
+  config.program_types = {ProgramType::kLogicalForm};
+  config.samples_per_table = 25;
+  Generator gen(config, &lib, &rng);
+  TableWithText input;
+  input.table = MakeNationsTable();
+  Dataset data;
+  data.samples = gen.GenerateFromTable(input);
+
+  VerifierConfig verifier_config;
+  VerifierModel original(verifier_config, BuiltinLogicTemplates());
+  original.Train(data, &rng);
+
+  VerifierModel restored(verifier_config, BuiltinLogicTemplates());
+  ASSERT_TRUE(restored.LoadWeights(original.SaveWeights()).ok());
+  for (const Sample& s : data.samples) {
+    EXPECT_EQ(restored.Predict(s), original.Predict(s));
+  }
+
+  // Mismatched configuration is rejected.
+  VerifierConfig three_way = verifier_config;
+  three_way.num_classes = 3;
+  VerifierModel wrong(three_way, BuiltinLogicTemplates());
+  EXPECT_FALSE(wrong.LoadWeights(original.SaveWeights()).ok());
+}
+
+TEST(PersistenceTest, QaWeightsRoundTrip) {
+  Rng rng(11);
+  TemplateLibrary lib = TemplateLibrary::Builtin();
+  GenerationConfig config;
+  config.task = TaskType::kQuestionAnswering;
+  config.program_types = {ProgramType::kSql};
+  config.samples_per_table = 25;
+  Generator gen(config, &lib, &rng);
+  TableWithText input;
+  input.table = MakeNationsTable();
+  Dataset data;
+  data.samples = gen.GenerateFromTable(input);
+
+  QaConfig qa_config;
+  QaModel original(qa_config, BuiltinSqlTemplates());
+  original.Train(data, &rng);
+
+  QaModel restored(qa_config, BuiltinSqlTemplates());
+  ASSERT_TRUE(restored.LoadWeights(original.SaveWeights()).ok());
+  Table eval_table = MakeFinanceTable();
+  for (const Sample& s : data.samples) {
+    EXPECT_EQ(restored.Predict(s), original.Predict(s));
+  }
+}
+
+}  // namespace
+}  // namespace uctr::model

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "datasets/corpus.h"
+#include "datasets/retrieval.h"
+#include "gen/generator.h"
+#include "program/library.h"
+#include "tests/test_util.h"
+
+namespace uctr::datasets {
+namespace {
+
+std::vector<TableWithText> MakePool(Rng* rng, size_t n) {
+  CorpusConfig config;
+  config.domain = Domain::kWikipedia;
+  config.num_tables = n;
+  CorpusGenerator gen(config, rng);
+  return gen.Generate();
+}
+
+TEST(RetrievalTest, ExactTableTextRetrievesItself) {
+  Rng rng(3);
+  auto pool = MakePool(&rng, 12);
+  EvidenceRetriever retriever(pool);
+  ASSERT_EQ(retriever.pool_size(), 12u);
+
+  // Query built from a pool entry's own linearization hits it at rank 1.
+  for (size_t i = 0; i < pool.size(); i += 3) {
+    auto top = retriever.Retrieve(pool[i].table.Linearize(), 1);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0], i);
+  }
+}
+
+TEST(RetrievalTest, ClaimsRetrieveTheirSourceTable) {
+  Rng rng(7);
+  auto pool = MakePool(&rng, 10);
+  // Generate claims from each pool entry; retrieval should find the
+  // source table well above chance (1/10).
+  static const TemplateLibrary& library = TemplateLibrary::Builtin();
+  GenerationConfig config;
+  config.task = TaskType::kFactVerification;
+  config.program_types = {ProgramType::kLogicalForm};
+  config.samples_per_table = 4;
+  config.use_table_to_text = false;
+  config.use_text_to_table = false;
+  Generator generator(config, &library, &rng);
+
+  std::vector<std::pair<std::string, size_t>> queries;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (const Sample& s : generator.GenerateFromTable(pool[i])) {
+      queries.push_back({s.sentence, i});
+    }
+  }
+  ASSERT_GT(queries.size(), 20u);
+
+  EvidenceRetriever retriever(pool);
+  double recall1 = retriever.RecallAtK(queries, 1);
+  double recall3 = retriever.RecallAtK(queries, 3);
+  EXPECT_GT(recall1, 0.3);
+  EXPECT_GE(recall3, recall1);
+  EXPECT_GT(recall3, 0.5);
+}
+
+TEST(RetrievalTest, TopKOrderingAndBounds) {
+  Rng rng(11);
+  auto pool = MakePool(&rng, 6);
+  EvidenceRetriever retriever(pool);
+  auto top = retriever.Retrieve("population of springfield", 3);
+  EXPECT_LE(top.size(), 3u);
+  auto all = retriever.Retrieve("population of springfield", 100);
+  EXPECT_EQ(all.size(), 6u);
+  EXPECT_DOUBLE_EQ(retriever.RecallAtK({}, 3), 0.0);
+}
+
+TEST(RetrievalTest, UnrelatedQueryStillReturnsCandidates) {
+  Rng rng(13);
+  auto pool = MakePool(&rng, 5);
+  EvidenceRetriever retriever(pool);
+  auto top = retriever.Retrieve("zzz qqq completely unrelated words", 2);
+  EXPECT_EQ(top.size(), 2u);  // ranked by (zero) score, still returned
+}
+
+}  // namespace
+}  // namespace uctr::datasets

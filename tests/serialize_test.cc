@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "gen/generator.h"
+#include "gen/serialize.h"
+#include "program/library.h"
+#include "tests/test_util.h"
+
+namespace uctr {
+namespace {
+
+using testing::MakeFinanceTable;
+using testing::MakeNationsTable;
+
+Sample MakeQaSample() {
+  Sample s;
+  s.task = TaskType::kQuestionAnswering;
+  s.table = MakeNationsTable();
+  s.paragraph = {"Some \"context\" with a\nnewline.", "Second sentence."};
+  s.sentence = "Which nation has the highest gold?";
+  s.answer = "united states";
+  s.program = {ProgramType::kSql,
+               "SELECT [nation] FROM w ORDER BY [gold] DESC LIMIT 1"};
+  s.reasoning_type = "superlative";
+  s.source = EvidenceSource::kTableOnly;
+  s.evidence_rows = {0, 3};
+  return s;
+}
+
+TEST(JsonQuoteTest, EscapesSpecials) {
+  EXPECT_EQ(JsonQuote("plain"), "\"plain\"");
+  EXPECT_EQ(JsonQuote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonQuote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(JsonQuote("a\nb\tc"), "\"a\\nb\\tc\"");
+}
+
+TEST(SerializeTest, QaSampleRoundTrips) {
+  Sample original = MakeQaSample();
+  std::string json = SampleToJson(original);
+  Sample restored = SampleFromJson(json).ValueOrDie();
+
+  EXPECT_EQ(restored.task, original.task);
+  EXPECT_EQ(restored.sentence, original.sentence);
+  EXPECT_EQ(restored.answer, original.answer);
+  EXPECT_EQ(restored.paragraph, original.paragraph);
+  EXPECT_EQ(restored.program.type, original.program.type);
+  EXPECT_EQ(restored.program.text, original.program.text);
+  EXPECT_EQ(restored.reasoning_type, original.reasoning_type);
+  EXPECT_EQ(restored.source, original.source);
+  EXPECT_EQ(restored.evidence_rows, original.evidence_rows);
+  EXPECT_EQ(restored.table.ToCsv(), original.table.ToCsv());
+  EXPECT_EQ(restored.table.name(), original.table.name());
+}
+
+TEST(SerializeTest, ClaimSampleRoundTrips) {
+  Sample s;
+  s.task = TaskType::kFactVerification;
+  s.table = MakeFinanceTable();
+  s.sentence = "The revenue in 2019 was $1,200.5.";
+  s.label = Label::kRefuted;
+  s.program = {ProgramType::kLogicalForm,
+               "eq { hop { filter_eq { all_rows ; item ; revenue } ; 2019 } "
+               "; 99 }"};
+  s.source = EvidenceSource::kTableExpand;
+
+  Sample restored = SampleFromJson(SampleToJson(s)).ValueOrDie();
+  EXPECT_EQ(restored.label, Label::kRefuted);
+  EXPECT_EQ(restored.source, EvidenceSource::kTableExpand);
+  // The restored program still executes identically.
+  EXPECT_EQ(restored.program.Execute(restored.table)->scalar().boolean(),
+            s.program.Execute(s.table)->scalar().boolean());
+}
+
+TEST(SerializeTest, DatasetJsonlRoundTrips) {
+  Rng rng(5);
+  TemplateLibrary lib = TemplateLibrary::Builtin();
+  GenerationConfig config;
+  config.task = TaskType::kFactVerification;
+  config.program_types = {ProgramType::kLogicalForm};
+  config.samples_per_table = 10;
+  Generator gen(config, &lib, &rng);
+  TableWithText input;
+  input.table = MakeNationsTable();
+  Dataset original = gen.GenerateDataset({input});
+  ASSERT_GT(original.size(), 5u);
+
+  std::string jsonl = DatasetToJsonl(original);
+  Dataset restored = DatasetFromJsonl(jsonl).ValueOrDie();
+  ASSERT_EQ(restored.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(restored.samples[i].sentence, original.samples[i].sentence);
+    EXPECT_EQ(restored.samples[i].label, original.samples[i].label);
+    EXPECT_EQ(restored.samples[i].program.text,
+              original.samples[i].program.text);
+  }
+}
+
+TEST(SerializeTest, RejectsMalformedInput) {
+  EXPECT_FALSE(SampleFromJson("").ok());
+  EXPECT_FALSE(SampleFromJson("{").ok());
+  EXPECT_FALSE(SampleFromJson("[1,2]").ok());
+  EXPECT_FALSE(SampleFromJson("{\"task\":\"nonsense\"}").ok());
+  EXPECT_FALSE(SampleFromJson(
+                   "{\"task\":\"question_answering\",\"answer\":\"x\","
+                   "\"sentence\":\"q\",\"table\":\"a,b\\n1,2\\n\","
+                   "\"bogus_field\":1}")
+                   .ok());
+  // Missing table.
+  EXPECT_FALSE(SampleFromJson(
+                   "{\"task\":\"question_answering\",\"answer\":\"x\","
+                   "\"sentence\":\"q\"}")
+                   .ok());
+}
+
+TEST(SerializeTest, HandlesEmptyDataset) {
+  Dataset empty;
+  EXPECT_EQ(DatasetToJsonl(empty), "");
+  EXPECT_EQ(DatasetFromJsonl("")->size(), 0u);
+  EXPECT_EQ(DatasetFromJsonl("\n\n")->size(), 0u);
+}
+
+}  // namespace
+}  // namespace uctr

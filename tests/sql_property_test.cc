@@ -1,0 +1,172 @@
+// Property-based tests of the SQL executor: for randomly generated tables
+// and queries, the executor's output must agree with direct recomputation
+// from the table, and parsing must round-trip through ToString.
+
+#include <gtest/gtest.h>
+
+#include "common/numeric.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "tests/test_util.h"
+
+namespace uctr::sql {
+namespace {
+
+class SqlPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  Rng rng_{GetParam()};
+};
+
+TEST_P(SqlPropertyTest, EqualityFilterMatchesDirectScan) {
+  Table t = uctr::testing::RandomTable(&rng_);
+  // Pick a random existing cell as the filter value.
+  size_t col = 1 + rng_.Index(t.num_columns() - 1);
+  size_t row = rng_.Index(t.num_rows());
+  std::string value = t.cell(row, col).ToDisplayString();
+  std::string column = t.schema().column(col).name;
+
+  auto r = ExecuteQuery(
+      "SELECT [name] FROM w WHERE [" + column + "] = '" + value + "'", t);
+  ASSERT_TRUE(r.ok());
+
+  std::vector<std::string> expected;
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    if (t.cell(i, col).Equals(Value::FromText(value))) {
+      expected.push_back(t.cell(i, 0).ToDisplayString());
+    }
+  }
+  ASSERT_EQ(r->values.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(r->values[i].ToDisplayString(), expected[i]);
+  }
+  EXPECT_EQ(r->evidence_rows.size(), expected.size());
+}
+
+TEST_P(SqlPropertyTest, OrderByProducesSortedValues) {
+  Table t = uctr::testing::RandomTable(&rng_);
+  size_t col = 1 + rng_.Index(t.num_columns() - 1);
+  std::string column = t.schema().column(col).name;
+  bool desc = rng_.Bernoulli(0.5);
+
+  auto r = ExecuteQuery("SELECT [" + column + "] FROM w ORDER BY [" +
+                            column + "] " + (desc ? "DESC" : "ASC"),
+                        t);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->values.size(), t.num_rows());
+  for (size_t i = 1; i < r->values.size(); ++i) {
+    int cmp = r->values[i - 1].Compare(r->values[i]);
+    if (desc) {
+      EXPECT_GE(cmp, 0);
+    } else {
+      EXPECT_LE(cmp, 0);
+    }
+  }
+}
+
+TEST_P(SqlPropertyTest, CountStarEqualsMatchingRows) {
+  Table t = uctr::testing::RandomTable(&rng_);
+  size_t col = 1 + rng_.Index(t.num_columns() - 1);
+  std::string column = t.schema().column(col).name;
+  int64_t threshold = rng_.UniformInt(0, 50);
+
+  auto r = ExecuteQuery("SELECT COUNT(*) FROM w WHERE [" + column + "] > '" +
+                            std::to_string(threshold) + "'",
+                        t);
+  ASSERT_TRUE(r.ok());
+  size_t expected = 0;
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    if (t.cell(i, col).number() > static_cast<double>(threshold)) ++expected;
+  }
+  EXPECT_DOUBLE_EQ(r->scalar().number(), static_cast<double>(expected));
+}
+
+TEST_P(SqlPropertyTest, AggregatesMatchDirectComputation) {
+  Table t = uctr::testing::RandomTable(&rng_);
+  size_t col = 1 + rng_.Index(t.num_columns() - 1);
+  std::string column = t.schema().column(col).name;
+
+  double sum = 0, lo = 1e18, hi = -1e18;
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    double v = t.cell(i, col).number();
+    sum += v;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_DOUBLE_EQ(
+      ExecuteQuery("SELECT SUM([" + column + "]) FROM w", t)->scalar()
+          .number(),
+      sum);
+  EXPECT_DOUBLE_EQ(
+      ExecuteQuery("SELECT MIN([" + column + "]) FROM w", t)->scalar()
+          .number(),
+      lo);
+  EXPECT_DOUBLE_EQ(
+      ExecuteQuery("SELECT MAX([" + column + "]) FROM w", t)->scalar()
+          .number(),
+      hi);
+  EXPECT_TRUE(NearlyEqual(
+      ExecuteQuery("SELECT AVG([" + column + "]) FROM w", t)->scalar()
+          .number(),
+      sum / static_cast<double>(t.num_rows())));
+}
+
+TEST_P(SqlPropertyTest, LimitNeverExceedsRequested) {
+  Table t = uctr::testing::RandomTable(&rng_);
+  int64_t limit = rng_.UniformInt(0, 12);
+  auto r = ExecuteQuery(
+      "SELECT [name] FROM w ORDER BY [metric1] DESC LIMIT " +
+          std::to_string(limit),
+      t);
+  if (limit == 0) {
+    EXPECT_FALSE(r.ok());  // empty result is discarded by policy
+    return;
+  }
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->values.size(),
+            static_cast<size_t>(limit));
+  EXPECT_EQ(r->values.size(),
+            std::min<size_t>(t.num_rows(), static_cast<size_t>(limit)));
+}
+
+TEST_P(SqlPropertyTest, ParseToStringRoundTripPreservesSemantics) {
+  Table t = uctr::testing::RandomTable(&rng_);
+  size_t col = 1 + rng_.Index(t.num_columns() - 1);
+  std::string column = t.schema().column(col).name;
+  std::string query = "SELECT [name] FROM w WHERE [" + column + "] >= '" +
+                      std::to_string(rng_.UniformInt(0, 40)) +
+                      "' ORDER BY [" + column + "] DESC LIMIT 3";
+  auto stmt = Parse(query).ValueOrDie();
+  auto again = Parse(stmt.ToString()).ValueOrDie();
+
+  auto r1 = Execute(stmt, t);
+  auto r2 = Execute(again, t);
+  ASSERT_EQ(r1.ok(), r2.ok());
+  if (r1.ok()) {
+    EXPECT_EQ(r1->ToDisplayString(), r2->ToDisplayString());
+  }
+}
+
+TEST_P(SqlPropertyTest, SumOfPartitionsEqualsTotal) {
+  Table t = uctr::testing::RandomTable(&rng_);
+  std::string column = t.schema().column(1).name;
+  int64_t pivot = rng_.UniformInt(10, 40);
+  auto total =
+      ExecuteQuery("SELECT COUNT(*) FROM w", t)->scalar().number();
+  auto above = ExecuteQuery("SELECT COUNT(*) FROM w WHERE [" + column +
+                                "] > '" + std::to_string(pivot) + "'",
+                            t)
+                   ->scalar()
+                   .number();
+  auto below_eq = ExecuteQuery("SELECT COUNT(*) FROM w WHERE [" + column +
+                                   "] <= '" + std::to_string(pivot) + "'",
+                               t)
+                      ->scalar()
+                      .number();
+  EXPECT_DOUBLE_EQ(above + below_eq, total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqlPropertyTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace uctr::sql

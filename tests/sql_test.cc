@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "sql/executor.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "tests/test_util.h"
+
+namespace uctr::sql {
+namespace {
+
+using uctr::testing::MakeFinanceTable;
+using uctr::testing::MakeNationsTable;
+
+// ----------------------------------------------------------------- Lexer
+
+TEST(SqlLexerTest, TokenizesKeywordsAndIdentifiers) {
+  auto tokens = Lex("select nation from w").ValueOrDie();
+  ASSERT_EQ(tokens.size(), 5u);  // + kEnd
+  EXPECT_EQ(tokens[0].type, TokenType::kKeyword);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "nation");
+  EXPECT_EQ(tokens.back().type, TokenType::kEnd);
+}
+
+TEST(SqlLexerTest, BracketedIdentifiersKeepSpaces) {
+  auto tokens = Lex("select [cost of sales] from w").ValueOrDie();
+  EXPECT_EQ(tokens[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "cost of sales");
+}
+
+TEST(SqlLexerTest, StringsAndNumbers) {
+  auto tokens = Lex("where a = 'two words' and b > -3.5").ValueOrDie();
+  EXPECT_EQ(tokens[3].type, TokenType::kString);
+  EXPECT_EQ(tokens[3].text, "two words");
+  EXPECT_EQ(tokens.rbegin()[1].type, TokenType::kNumber);
+  EXPECT_DOUBLE_EQ(tokens.rbegin()[1].number, -3.5);
+}
+
+TEST(SqlLexerTest, ComparisonOperators) {
+  auto tokens = Lex("<= >= != <> < >").ValueOrDie();
+  EXPECT_EQ(tokens[0].type, TokenType::kLe);
+  EXPECT_EQ(tokens[1].type, TokenType::kGe);
+  EXPECT_EQ(tokens[2].type, TokenType::kNe);
+  EXPECT_EQ(tokens[3].type, TokenType::kNe);
+  EXPECT_EQ(tokens[4].type, TokenType::kLt);
+  EXPECT_EQ(tokens[5].type, TokenType::kGt);
+}
+
+TEST(SqlLexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Lex("select 'oops").ok());
+}
+
+// ---------------------------------------------------------------- Parser
+
+TEST(SqlParserTest, ParsesSquallTemplateShape) {
+  auto stmt =
+      Parse("select nation from w order by gold desc limit 1").ValueOrDie();
+  ASSERT_EQ(stmt.items.size(), 1u);
+  EXPECT_EQ(stmt.items[0].column, "nation");
+  ASSERT_TRUE(stmt.order_by.has_value());
+  EXPECT_EQ(stmt.order_by->column, "gold");
+  EXPECT_TRUE(stmt.order_by->descending);
+  ASSERT_TRUE(stmt.limit.has_value());
+  EXPECT_EQ(*stmt.limit, 1);
+}
+
+TEST(SqlParserTest, ParsesAggregatesAndWhere) {
+  auto stmt =
+      Parse("select count(*), sum(gold) from w where silver > 3 and "
+            "nation != 'china'")
+          .ValueOrDie();
+  ASSERT_EQ(stmt.items.size(), 2u);
+  EXPECT_TRUE(stmt.items[0].star);
+  EXPECT_EQ(stmt.items[0].agg, AggFunc::kCount);
+  EXPECT_EQ(stmt.items[1].agg, AggFunc::kSum);
+  ASSERT_EQ(stmt.where.size(), 2u);
+  EXPECT_EQ(stmt.where[0].op, CmpOp::kGt);
+  EXPECT_EQ(stmt.where[1].op, CmpOp::kNe);
+}
+
+TEST(SqlParserTest, ParsesArithmeticItems) {
+  auto stmt = Parse("select gold - silver from w").ValueOrDie();
+  ASSERT_EQ(stmt.items.size(), 1u);
+  EXPECT_EQ(stmt.items[0].arith, ArithOp::kSub);
+  EXPECT_EQ(stmt.items[0].rhs_column, "silver");
+}
+
+TEST(SqlParserTest, ParsesCountDistinct) {
+  auto stmt = Parse("select count(distinct nation) from w").ValueOrDie();
+  EXPECT_TRUE(stmt.items[0].distinct);
+}
+
+TEST(SqlParserTest, ToStringRoundTrips) {
+  const char* query =
+      "SELECT nation FROM w WHERE gold > 5 ORDER BY silver DESC LIMIT 2";
+  auto stmt = Parse(query).ValueOrDie();
+  auto again = Parse(stmt.ToString()).ValueOrDie();
+  EXPECT_EQ(stmt.ToString(), again.ToString());
+}
+
+TEST(SqlParserTest, RejectsMalformedQueries) {
+  EXPECT_FALSE(Parse("select from w").ok());
+  EXPECT_FALSE(Parse("nation from w").ok());
+  EXPECT_FALSE(Parse("select nation").ok());
+  EXPECT_FALSE(Parse("select nation from w where gold >").ok());
+  EXPECT_FALSE(Parse("select nation from w limit x").ok());
+  EXPECT_FALSE(Parse("select sum(*) from w").ok());
+}
+
+// -------------------------------------------------------------- Executor
+
+TEST(SqlExecutorTest, SelectWithOrderLimit) {
+  Table t = MakeNationsTable();
+  auto r = ExecuteQuery("select nation from w order by total desc limit 1", t)
+               .ValueOrDie();
+  ASSERT_EQ(r.values.size(), 1u);
+  EXPECT_EQ(r.values[0].ToDisplayString(), "united states");
+  ASSERT_EQ(r.evidence_rows.size(), 1u);
+  EXPECT_EQ(r.evidence_rows[0], 0u);
+}
+
+TEST(SqlExecutorTest, WhereConjunction) {
+  Table t = MakeNationsTable();
+  auto r = ExecuteQuery(
+               "select nation from w where gold = 5 and bronze > 5", t)
+               .ValueOrDie();
+  ASSERT_EQ(r.values.size(), 1u);
+  EXPECT_EQ(r.values[0].ToDisplayString(), "germany");
+}
+
+TEST(SqlExecutorTest, Aggregates) {
+  Table t = MakeNationsTable();
+  EXPECT_DOUBLE_EQ(
+      ExecuteQuery("select sum(gold) from w", t)->scalar().number(), 30.0);
+  EXPECT_DOUBLE_EQ(
+      ExecuteQuery("select avg(gold) from w", t)->scalar().number(), 6.0);
+  EXPECT_DOUBLE_EQ(
+      ExecuteQuery("select count(*) from w where gold = 5", t)
+          ->scalar()
+          .number(),
+      2.0);
+  EXPECT_DOUBLE_EQ(
+      ExecuteQuery("select max(total) from w", t)->scalar().number(), 30.0);
+  EXPECT_DOUBLE_EQ(
+      ExecuteQuery("select min(silver) from w", t)->scalar().number(), 3.0);
+}
+
+TEST(SqlExecutorTest, CountDistinct) {
+  Table t = MakeNationsTable();
+  EXPECT_DOUBLE_EQ(
+      ExecuteQuery("select count(distinct gold) from w", t)
+          ->scalar()
+          .number(),
+      4.0);  // 10, 8, 5, 2
+}
+
+TEST(SqlExecutorTest, ArithmeticProjection) {
+  Table t = MakeNationsTable();
+  auto r = ExecuteQuery(
+               "select gold - silver from w where nation = 'japan'", t)
+               .ValueOrDie();
+  EXPECT_DOUBLE_EQ(r.scalar().number(), -4.0);
+  auto r2 = ExecuteQuery(
+                "select gold + silver from w where nation = 'china'", t)
+                .ValueOrDie();
+  EXPECT_DOUBLE_EQ(r2.scalar().number(), 14.0);
+}
+
+TEST(SqlExecutorTest, StringLiteralsWithSpacesAndCurrency) {
+  Table t = MakeFinanceTable();
+  auto r = ExecuteQuery(
+               "select [2019] from w where item = 'cost of sales'", t)
+               .ValueOrDie();
+  EXPECT_DOUBLE_EQ(r.scalar().number(), 800.0);
+  // Numeric comparison against a formatted money cell.
+  auto r2 = ExecuteQuery("select item from w where [2019] > 1000", t)
+                .ValueOrDie();
+  ASSERT_EQ(r2.values.size(), 2u);  // revenue + stockholders' equity
+}
+
+TEST(SqlExecutorTest, EmptyMatchIsEmptyResult) {
+  Table t = MakeNationsTable();
+  auto r = ExecuteQuery("select nation from w where gold = 99", t);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kEmptyResult);
+}
+
+TEST(SqlExecutorTest, CountOverEmptyFilterIsZero) {
+  Table t = MakeNationsTable();
+  auto r = ExecuteQuery("select count(*) from w where gold = 99", t)
+               .ValueOrDie();
+  EXPECT_DOUBLE_EQ(r.scalar().number(), 0.0);
+}
+
+TEST(SqlExecutorTest, UnknownColumnFails) {
+  Table t = MakeNationsTable();
+  EXPECT_FALSE(ExecuteQuery("select platinum from w", t).ok());
+}
+
+TEST(SqlExecutorTest, MixedAggregateAndPlainColumnRejected) {
+  Table t = MakeNationsTable();
+  EXPECT_FALSE(ExecuteQuery("select nation, sum(gold) from w", t).ok());
+}
+
+TEST(SqlExecutorTest, OrderByAscendingStable) {
+  Table t = MakeNationsTable();
+  auto r = ExecuteQuery("select nation from w order by gold asc", t)
+               .ValueOrDie();
+  ASSERT_EQ(r.values.size(), 5u);
+  EXPECT_EQ(r.values[0].ToDisplayString(), "france");
+  // japan (5) precedes germany (5): stable sort keeps original order.
+  EXPECT_EQ(r.values[1].ToDisplayString(), "japan");
+  EXPECT_EQ(r.values[2].ToDisplayString(), "germany");
+}
+
+}  // namespace
+}  // namespace uctr::sql
