@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_synth_vs_labeled.dir/bench_fig5_synth_vs_labeled.cc.o"
+  "CMakeFiles/bench_fig5_synth_vs_labeled.dir/bench_fig5_synth_vs_labeled.cc.o.d"
+  "bench_fig5_synth_vs_labeled"
+  "bench_fig5_synth_vs_labeled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_synth_vs_labeled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_tatqa.dir/bench_table3_tatqa.cc.o"
+  "CMakeFiles/bench_table3_tatqa.dir/bench_table3_tatqa.cc.o.d"
+  "bench_table3_tatqa"
+  "bench_table3_tatqa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_tatqa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_feverous.dir/bench_table4_feverous.cc.o"
+  "CMakeFiles/bench_table4_feverous.dir/bench_table4_feverous.cc.o.d"
+  "bench_table4_feverous"
+  "bench_table4_feverous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_feverous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table5_semtabfacts.cc" "bench/CMakeFiles/bench_table5_semtabfacts.dir/bench_table5_semtabfacts.cc.o" "gcc" "bench/CMakeFiles/bench_table5_semtabfacts.dir/bench_table5_semtabfacts.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/uctr_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/uctr_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/uctr_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/uctr_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/uctr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/uctr_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybrid/CMakeFiles/uctr_hybrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlgen/CMakeFiles/uctr_nlgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/uctr_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/uctr_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/uctr_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/uctr_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/uctr_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/uctr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

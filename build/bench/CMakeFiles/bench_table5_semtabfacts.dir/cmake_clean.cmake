@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_semtabfacts.dir/bench_table5_semtabfacts.cc.o"
+  "CMakeFiles/bench_table5_semtabfacts.dir/bench_table5_semtabfacts.cc.o.d"
+  "bench_table5_semtabfacts"
+  "bench_table5_semtabfacts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_semtabfacts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

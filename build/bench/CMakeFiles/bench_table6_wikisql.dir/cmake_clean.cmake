@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_wikisql.dir/bench_table6_wikisql.cc.o"
+  "CMakeFiles/bench_table6_wikisql.dir/bench_table6_wikisql.cc.o.d"
+  "bench_table6_wikisql"
+  "bench_table6_wikisql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_wikisql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_augmentation.dir/bench_table7_augmentation.cc.o"
+  "CMakeFiles/bench_table7_augmentation.dir/bench_table7_augmentation.cc.o.d"
+  "bench_table7_augmentation"
+  "bench_table7_augmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_augmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table9_generated_text.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uctr_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/uctr_bench_harness.dir/harness.cc.o.d"
+  "libuctr_bench_harness.a"
+  "libuctr_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uctr_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

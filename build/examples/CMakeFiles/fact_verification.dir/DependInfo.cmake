@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fact_verification.cpp" "examples/CMakeFiles/fact_verification.dir/fact_verification.cpp.o" "gcc" "examples/CMakeFiles/fact_verification.dir/fact_verification.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/uctr_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/uctr_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/uctr_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybrid/CMakeFiles/uctr_hybrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlgen/CMakeFiles/uctr_nlgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/uctr_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/uctr_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/uctr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/uctr_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/uctr_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/uctr_arith.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fact_verification.dir/fact_verification.cpp.o"
+  "CMakeFiles/fact_verification.dir/fact_verification.cpp.o.d"
+  "fact_verification"
+  "fact_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fact_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finance_qa.dir/finance_qa.cpp.o"
+  "CMakeFiles/finance_qa.dir/finance_qa.cpp.o.d"
+  "finance_qa"
+  "finance_qa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finance_qa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_reasoning.dir/hybrid_reasoning.cpp.o"
+  "CMakeFiles/hybrid_reasoning.dir/hybrid_reasoning.cpp.o.d"
+  "hybrid_reasoning"
+  "hybrid_reasoning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_reasoning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("table")
+subdirs("sql")
+subdirs("logic")
+subdirs("arith")
+subdirs("program")
+subdirs("nlgen")
+subdirs("hybrid")
+subdirs("gen")
+subdirs("model")
+subdirs("datasets")
+subdirs("eval")
+subdirs("baselines")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uctr_arith.dir/ast.cc.o"
+  "CMakeFiles/uctr_arith.dir/ast.cc.o.d"
+  "CMakeFiles/uctr_arith.dir/executor.cc.o"
+  "CMakeFiles/uctr_arith.dir/executor.cc.o.d"
+  "CMakeFiles/uctr_arith.dir/parser.cc.o"
+  "CMakeFiles/uctr_arith.dir/parser.cc.o.d"
+  "CMakeFiles/uctr_arith.dir/trace.cc.o"
+  "CMakeFiles/uctr_arith.dir/trace.cc.o.d"
+  "libuctr_arith.a"
+  "libuctr_arith.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uctr_arith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uctr_baselines.dir/mqa_qg.cc.o"
+  "CMakeFiles/uctr_baselines.dir/mqa_qg.cc.o.d"
+  "libuctr_baselines.a"
+  "libuctr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uctr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uctr_common.dir/numeric.cc.o"
+  "CMakeFiles/uctr_common.dir/numeric.cc.o.d"
+  "CMakeFiles/uctr_common.dir/rng.cc.o"
+  "CMakeFiles/uctr_common.dir/rng.cc.o.d"
+  "CMakeFiles/uctr_common.dir/status.cc.o"
+  "CMakeFiles/uctr_common.dir/status.cc.o.d"
+  "CMakeFiles/uctr_common.dir/string_util.cc.o"
+  "CMakeFiles/uctr_common.dir/string_util.cc.o.d"
+  "libuctr_common.a"
+  "libuctr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uctr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/benchmark.cc" "src/datasets/CMakeFiles/uctr_datasets.dir/benchmark.cc.o" "gcc" "src/datasets/CMakeFiles/uctr_datasets.dir/benchmark.cc.o.d"
+  "/root/repo/src/datasets/corpus.cc" "src/datasets/CMakeFiles/uctr_datasets.dir/corpus.cc.o" "gcc" "src/datasets/CMakeFiles/uctr_datasets.dir/corpus.cc.o.d"
+  "/root/repo/src/datasets/retrieval.cc" "src/datasets/CMakeFiles/uctr_datasets.dir/retrieval.cc.o" "gcc" "src/datasets/CMakeFiles/uctr_datasets.dir/retrieval.cc.o.d"
+  "/root/repo/src/datasets/vocab.cc" "src/datasets/CMakeFiles/uctr_datasets.dir/vocab.cc.o" "gcc" "src/datasets/CMakeFiles/uctr_datasets.dir/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gen/CMakeFiles/uctr_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/program/CMakeFiles/uctr_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/uctr_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/uctr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybrid/CMakeFiles/uctr_hybrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlgen/CMakeFiles/uctr_nlgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/uctr_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/uctr_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/uctr_arith.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uctr_datasets.dir/benchmark.cc.o"
+  "CMakeFiles/uctr_datasets.dir/benchmark.cc.o.d"
+  "CMakeFiles/uctr_datasets.dir/corpus.cc.o"
+  "CMakeFiles/uctr_datasets.dir/corpus.cc.o.d"
+  "CMakeFiles/uctr_datasets.dir/retrieval.cc.o"
+  "CMakeFiles/uctr_datasets.dir/retrieval.cc.o.d"
+  "CMakeFiles/uctr_datasets.dir/vocab.cc.o"
+  "CMakeFiles/uctr_datasets.dir/vocab.cc.o.d"
+  "libuctr_datasets.a"
+  "libuctr_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uctr_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uctr_eval.dir/metrics.cc.o"
+  "CMakeFiles/uctr_eval.dir/metrics.cc.o.d"
+  "libuctr_eval.a"
+  "libuctr_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uctr_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

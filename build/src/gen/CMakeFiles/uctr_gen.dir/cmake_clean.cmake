@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uctr_gen.dir/generator.cc.o"
+  "CMakeFiles/uctr_gen.dir/generator.cc.o.d"
+  "CMakeFiles/uctr_gen.dir/parallel.cc.o"
+  "CMakeFiles/uctr_gen.dir/parallel.cc.o.d"
+  "CMakeFiles/uctr_gen.dir/quality.cc.o"
+  "CMakeFiles/uctr_gen.dir/quality.cc.o.d"
+  "CMakeFiles/uctr_gen.dir/sample.cc.o"
+  "CMakeFiles/uctr_gen.dir/sample.cc.o.d"
+  "CMakeFiles/uctr_gen.dir/serialize.cc.o"
+  "CMakeFiles/uctr_gen.dir/serialize.cc.o.d"
+  "libuctr_gen.a"
+  "libuctr_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uctr_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

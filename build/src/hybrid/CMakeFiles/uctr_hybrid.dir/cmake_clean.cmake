@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uctr_hybrid.dir/table_to_text.cc.o"
+  "CMakeFiles/uctr_hybrid.dir/table_to_text.cc.o.d"
+  "CMakeFiles/uctr_hybrid.dir/text_to_table.cc.o"
+  "CMakeFiles/uctr_hybrid.dir/text_to_table.cc.o.d"
+  "libuctr_hybrid.a"
+  "libuctr_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uctr_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uctr_logic.dir/ast.cc.o"
+  "CMakeFiles/uctr_logic.dir/ast.cc.o.d"
+  "CMakeFiles/uctr_logic.dir/executor.cc.o"
+  "CMakeFiles/uctr_logic.dir/executor.cc.o.d"
+  "CMakeFiles/uctr_logic.dir/parser.cc.o"
+  "CMakeFiles/uctr_logic.dir/parser.cc.o.d"
+  "CMakeFiles/uctr_logic.dir/trace.cc.o"
+  "CMakeFiles/uctr_logic.dir/trace.cc.o.d"
+  "libuctr_logic.a"
+  "libuctr_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uctr_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uctr_model.dir/features.cc.o"
+  "CMakeFiles/uctr_model.dir/features.cc.o.d"
+  "CMakeFiles/uctr_model.dir/interpreter.cc.o"
+  "CMakeFiles/uctr_model.dir/interpreter.cc.o.d"
+  "CMakeFiles/uctr_model.dir/linear_model.cc.o"
+  "CMakeFiles/uctr_model.dir/linear_model.cc.o.d"
+  "CMakeFiles/uctr_model.dir/qa_model.cc.o"
+  "CMakeFiles/uctr_model.dir/qa_model.cc.o.d"
+  "CMakeFiles/uctr_model.dir/verifier.cc.o"
+  "CMakeFiles/uctr_model.dir/verifier.cc.o.d"
+  "libuctr_model.a"
+  "libuctr_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uctr_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

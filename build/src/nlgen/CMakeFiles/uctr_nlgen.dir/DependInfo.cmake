@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nlgen/arith_realizer.cc" "src/nlgen/CMakeFiles/uctr_nlgen.dir/arith_realizer.cc.o" "gcc" "src/nlgen/CMakeFiles/uctr_nlgen.dir/arith_realizer.cc.o.d"
+  "/root/repo/src/nlgen/lexicon.cc" "src/nlgen/CMakeFiles/uctr_nlgen.dir/lexicon.cc.o" "gcc" "src/nlgen/CMakeFiles/uctr_nlgen.dir/lexicon.cc.o.d"
+  "/root/repo/src/nlgen/logic_realizer.cc" "src/nlgen/CMakeFiles/uctr_nlgen.dir/logic_realizer.cc.o" "gcc" "src/nlgen/CMakeFiles/uctr_nlgen.dir/logic_realizer.cc.o.d"
+  "/root/repo/src/nlgen/nl_generator.cc" "src/nlgen/CMakeFiles/uctr_nlgen.dir/nl_generator.cc.o" "gcc" "src/nlgen/CMakeFiles/uctr_nlgen.dir/nl_generator.cc.o.d"
+  "/root/repo/src/nlgen/paraphraser.cc" "src/nlgen/CMakeFiles/uctr_nlgen.dir/paraphraser.cc.o" "gcc" "src/nlgen/CMakeFiles/uctr_nlgen.dir/paraphraser.cc.o.d"
+  "/root/repo/src/nlgen/realize_util.cc" "src/nlgen/CMakeFiles/uctr_nlgen.dir/realize_util.cc.o" "gcc" "src/nlgen/CMakeFiles/uctr_nlgen.dir/realize_util.cc.o.d"
+  "/root/repo/src/nlgen/sql_realizer.cc" "src/nlgen/CMakeFiles/uctr_nlgen.dir/sql_realizer.cc.o" "gcc" "src/nlgen/CMakeFiles/uctr_nlgen.dir/sql_realizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/program/CMakeFiles/uctr_program.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/uctr_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/uctr_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/uctr_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/uctr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/uctr_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uctr_nlgen.dir/arith_realizer.cc.o"
+  "CMakeFiles/uctr_nlgen.dir/arith_realizer.cc.o.d"
+  "CMakeFiles/uctr_nlgen.dir/lexicon.cc.o"
+  "CMakeFiles/uctr_nlgen.dir/lexicon.cc.o.d"
+  "CMakeFiles/uctr_nlgen.dir/logic_realizer.cc.o"
+  "CMakeFiles/uctr_nlgen.dir/logic_realizer.cc.o.d"
+  "CMakeFiles/uctr_nlgen.dir/nl_generator.cc.o"
+  "CMakeFiles/uctr_nlgen.dir/nl_generator.cc.o.d"
+  "CMakeFiles/uctr_nlgen.dir/paraphraser.cc.o"
+  "CMakeFiles/uctr_nlgen.dir/paraphraser.cc.o.d"
+  "CMakeFiles/uctr_nlgen.dir/realize_util.cc.o"
+  "CMakeFiles/uctr_nlgen.dir/realize_util.cc.o.d"
+  "CMakeFiles/uctr_nlgen.dir/sql_realizer.cc.o"
+  "CMakeFiles/uctr_nlgen.dir/sql_realizer.cc.o.d"
+  "libuctr_nlgen.a"
+  "libuctr_nlgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uctr_nlgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

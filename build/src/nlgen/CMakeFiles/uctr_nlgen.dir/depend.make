@@ -1,0 +1,2 @@
+# Empty dependencies file for uctr_nlgen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/program/auto_generator.cc" "src/program/CMakeFiles/uctr_program.dir/auto_generator.cc.o" "gcc" "src/program/CMakeFiles/uctr_program.dir/auto_generator.cc.o.d"
+  "/root/repo/src/program/library.cc" "src/program/CMakeFiles/uctr_program.dir/library.cc.o" "gcc" "src/program/CMakeFiles/uctr_program.dir/library.cc.o.d"
+  "/root/repo/src/program/program.cc" "src/program/CMakeFiles/uctr_program.dir/program.cc.o" "gcc" "src/program/CMakeFiles/uctr_program.dir/program.cc.o.d"
+  "/root/repo/src/program/sampler.cc" "src/program/CMakeFiles/uctr_program.dir/sampler.cc.o" "gcc" "src/program/CMakeFiles/uctr_program.dir/sampler.cc.o.d"
+  "/root/repo/src/program/template.cc" "src/program/CMakeFiles/uctr_program.dir/template.cc.o" "gcc" "src/program/CMakeFiles/uctr_program.dir/template.cc.o.d"
+  "/root/repo/src/program/templatizer.cc" "src/program/CMakeFiles/uctr_program.dir/templatizer.cc.o" "gcc" "src/program/CMakeFiles/uctr_program.dir/templatizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/uctr_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/uctr_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/arith/CMakeFiles/uctr_arith.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/uctr_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/uctr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uctr_program.dir/auto_generator.cc.o"
+  "CMakeFiles/uctr_program.dir/auto_generator.cc.o.d"
+  "CMakeFiles/uctr_program.dir/library.cc.o"
+  "CMakeFiles/uctr_program.dir/library.cc.o.d"
+  "CMakeFiles/uctr_program.dir/program.cc.o"
+  "CMakeFiles/uctr_program.dir/program.cc.o.d"
+  "CMakeFiles/uctr_program.dir/sampler.cc.o"
+  "CMakeFiles/uctr_program.dir/sampler.cc.o.d"
+  "CMakeFiles/uctr_program.dir/template.cc.o"
+  "CMakeFiles/uctr_program.dir/template.cc.o.d"
+  "CMakeFiles/uctr_program.dir/templatizer.cc.o"
+  "CMakeFiles/uctr_program.dir/templatizer.cc.o.d"
+  "libuctr_program.a"
+  "libuctr_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uctr_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

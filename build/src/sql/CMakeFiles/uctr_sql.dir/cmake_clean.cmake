@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uctr_sql.dir/ast.cc.o"
+  "CMakeFiles/uctr_sql.dir/ast.cc.o.d"
+  "CMakeFiles/uctr_sql.dir/executor.cc.o"
+  "CMakeFiles/uctr_sql.dir/executor.cc.o.d"
+  "CMakeFiles/uctr_sql.dir/lexer.cc.o"
+  "CMakeFiles/uctr_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/uctr_sql.dir/parser.cc.o"
+  "CMakeFiles/uctr_sql.dir/parser.cc.o.d"
+  "libuctr_sql.a"
+  "libuctr_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uctr_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libuctr_sql.a"
+)

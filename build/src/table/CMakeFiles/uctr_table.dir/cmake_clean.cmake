@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uctr_table.dir/table.cc.o"
+  "CMakeFiles/uctr_table.dir/table.cc.o.d"
+  "CMakeFiles/uctr_table.dir/value.cc.o"
+  "CMakeFiles/uctr_table.dir/value.cc.o.d"
+  "libuctr_table.a"
+  "libuctr_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uctr_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autogen_test.dir/autogen_test.cc.o"
+  "CMakeFiles/autogen_test.dir/autogen_test.cc.o.d"
+  "autogen_test"
+  "autogen_test.pdb"
+  "autogen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autogen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

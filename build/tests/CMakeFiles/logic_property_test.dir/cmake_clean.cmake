@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logic_property_test.dir/logic_property_test.cc.o"
+  "CMakeFiles/logic_property_test.dir/logic_property_test.cc.o.d"
+  "logic_property_test"
+  "logic_property_test.pdb"
+  "logic_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logic_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

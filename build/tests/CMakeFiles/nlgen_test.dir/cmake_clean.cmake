@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlgen_test.dir/nlgen_test.cc.o"
+  "CMakeFiles/nlgen_test.dir/nlgen_test.cc.o.d"
+  "nlgen_test"
+  "nlgen_test.pdb"
+  "nlgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_quality_test.dir/trace_quality_test.cc.o"
+  "CMakeFiles/trace_quality_test.dir/trace_quality_test.cc.o.d"
+  "trace_quality_test"
+  "trace_quality_test.pdb"
+  "trace_quality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_quality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
