@@ -1,0 +1,230 @@
+// bench_serving — throughput and latency of the serving subsystem.
+//
+// Measures the full request path (JSON parse -> cache probe -> scheduler
+// queue -> engine inference -> response) at 1/2/4/8 workers, and checks
+// that the ordered response stream is byte-identical at every worker
+// count. Three passes per worker count:
+//
+//   serve  — cold cache, with a simulated per-request evidence fetch
+//            (a 1.5 ms worker-thread stall via ServerConfig::
+//            pre_execute_hook, standing in for the storage/network I/O a
+//            deployed service overlaps with compute). This isolates the
+//            scheduler's ability to overlap waiting requests, so the
+//            worker-count scaling is visible on any core count.
+//   cold   — cold cache, pure CPU (no stall): raw inference cost.
+//   warm   — same stream repeated: every request is a cache hit.
+//
+// Build & run:  ./build/bench/bench_serving
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/rng.h"
+#include "gen/generator.h"
+#include "program/library.h"
+#include "serve/engine.h"
+#include "serve/server.h"
+#include "table/table.h"
+
+namespace {
+
+using namespace uctr;
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+std::string EscapeForJson(const std::string& csv) {
+  std::string out;
+  for (char c : csv) {
+    if (c == '\n') {
+      out += "\\n";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Distinct medal-style tables: same schema, different numbers, so every
+/// (table, query) pair is a distinct cache key with comparable work.
+std::string MakeCsv(int variant) {
+  auto cell = [&](int base) { return std::to_string(base + variant); };
+  return "nation,gold,silver,bronze,total\n"
+         "united states," + cell(10) + "," + cell(12) + "," + cell(8) + "," +
+         cell(30) + "\n"
+         "china," + cell(8) + "," + cell(6) + "," + cell(10) + "," +
+         cell(24) + "\n"
+         "japan," + cell(5) + "," + cell(9) + "," + cell(4) + "," +
+         cell(18) + "\n"
+         "germany," + cell(5) + "," + cell(3) + "," + cell(6) + "," +
+         cell(14) + "\n";
+}
+
+std::vector<std::string> BuildRequests(int num_tables) {
+  std::vector<std::string> requests;
+  uint64_t id = 0;
+  for (int t = 0; t < num_tables; ++t) {
+    std::string csv = EscapeForJson(MakeCsv(t));
+    for (const char* nation : {"united states", "china", "japan"}) {
+      requests.push_back(
+          "{\"id\":" + std::to_string(++id) +
+          ",\"op\":\"verify\",\"table\":\"" + csv +
+          "\",\"query\":\"The gold of the row whose nation is " + nation +
+          " is " + std::to_string(7 + t) + ".\"}");
+    }
+    for (const char* nation : {"united states", "germany", "japan"}) {
+      requests.push_back(
+          "{\"id\":" + std::to_string(++id) +
+          ",\"op\":\"answer\",\"table\":\"" + csv +
+          "\",\"query\":\"What was the gold of the row whose nation is " +
+          std::string(nation) + "?\"}");
+    }
+  }
+  return requests;
+}
+
+struct PassResult {
+  double millis = 0.0;
+  std::vector<std::string> responses;
+};
+
+PassResult RunPass(serve::Server* server,
+                   const std::vector<std::string>& requests) {
+  PassResult result;
+  std::mutex mu;
+  serve::OrderedResponseWriter writer(
+      [&result, &mu](const std::string& line) {
+        std::lock_guard<std::mutex> lock(mu);
+        result.responses.push_back(line);
+      });
+  Clock::time_point start = Clock::now();
+  for (const std::string& request : requests) {
+    uint64_t seq = writer.NextSequence();
+    server->SubmitLine(request, [seq, &writer](std::string response) {
+      writer.Write(seq, std::move(response));
+    });
+  }
+  server->Drain();
+  result.millis = MillisSince(start);
+  return result;
+}
+
+std::string Fixed(double v, int decimals = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  // Train once through the same path `uctr_serve train` uses, so the
+  // bench serves real weights rather than zero-initialized models.
+  Rng rng(42);
+  static const TemplateLibrary& library = TemplateLibrary::Builtin();
+  TableWithText demo;
+  demo.table = Table::FromCsv(MakeCsv(0), "medal table").ValueOrDie();
+
+  serve::EngineConfig engine_config;
+  GenerationConfig claim_config;
+  claim_config.task = TaskType::kFactVerification;
+  claim_config.program_types = {ProgramType::kLogicalForm};
+  claim_config.samples_per_table = 30;
+  Generator claim_gen(claim_config, &library, &rng);
+  model::VerifierModel verifier(engine_config.verifier,
+                                serve::InferenceEngine::VerifierTemplates());
+  Dataset claims;
+  claims.samples = claim_gen.GenerateFromTable(demo);
+  verifier.Train(claims, &rng);
+
+  GenerationConfig qa_config;
+  qa_config.task = TaskType::kQuestionAnswering;
+  qa_config.program_types = {ProgramType::kSql, ProgramType::kArithmetic};
+  qa_config.samples_per_table = 30;
+  Generator qa_gen(qa_config, &library, &rng);
+  model::QaModel qa(engine_config.qa, serve::InferenceEngine::QaTemplates());
+  Dataset questions;
+  questions.samples = qa_gen.GenerateFromTable(demo);
+  qa.Train(questions, &rng);
+
+  serve::InferenceEngine engine =
+      serve::InferenceEngine::Create(engine_config, verifier.SaveWeights(),
+                                     qa.SaveWeights())
+          .ValueOrDie();
+
+  const std::vector<std::string> requests = BuildRequests(/*num_tables=*/24);
+  std::cout << "serving benchmark: " << requests.size()
+            << " requests (verify + answer), hardware threads: "
+            << std::thread::hardware_concurrency() << "\n\n";
+
+  static constexpr int kSimulatedFetchMicros = 1500;
+  bench::TablePrinter table({"workers", "serve req/s", "cold req/s",
+                             "warm req/s", "warm speedup"});
+  std::vector<std::string> responses_at_1, responses_at_8;
+  std::vector<double> serve_throughput;
+  double cold_mean_us = 0.0, warm_mean_us = 0.0;
+  double n = static_cast<double>(requests.size());
+  for (size_t workers : {1u, 2u, 4u, 8u}) {
+    serve::ServerConfig config;
+    config.scheduler.num_workers = workers;
+    config.scheduler.queue_capacity = requests.size() + 1;
+    config.cache_capacity = 4 * requests.size();
+
+    // Pass 1: cold cache with the simulated evidence fetch — the
+    // serving scenario whose waiting the worker pool overlaps.
+    serve::ServerConfig stalled = config;
+    stalled.pre_execute_hook = [] {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(kSimulatedFetchMicros));
+    };
+    serve::Server serve_server(&engine, stalled);
+    PassResult stalled_cold = RunPass(&serve_server, requests);
+    serve_throughput.push_back(n / stalled_cold.millis * 1000.0);
+
+    // Passes 2+3: pure CPU, cold then warm (all cache hits).
+    serve::Server server(&engine, config);
+    PassResult cold = RunPass(&server, requests);
+    PassResult warm = RunPass(&server, requests);
+    table.AddRow({std::to_string(workers), Fixed(serve_throughput.back(), 0),
+                  Fixed(n / cold.millis * 1000.0, 0),
+                  Fixed(n / warm.millis * 1000.0, 0),
+                  Fixed(cold.millis / warm.millis) + "x"});
+    if (workers == 1) {
+      responses_at_1 = stalled_cold.responses;
+      cold_mean_us = cold.millis * 1000.0 / n;
+      warm_mean_us = warm.millis * 1000.0 / n;
+    }
+    if (workers == 8) responses_at_8 = stalled_cold.responses;
+  }
+  table.Print();
+  std::cout << "\nserve = cold cache + simulated " << kSimulatedFetchMicros
+            << " us evidence fetch per request; cold/warm = pure CPU\n";
+
+  bool monotonic = true;
+  for (size_t i = 1; i < serve_throughput.size(); ++i) {
+    if (serve_throughput[i] <= serve_throughput[i - 1]) monotonic = false;
+  }
+  std::cout << "serve-throughput scaling 1->8 workers: "
+            << (monotonic ? "monotonically increasing" : "NOT monotonic")
+            << "\n";
+  std::cout << "mean latency per request (1 worker): cold "
+            << Fixed(cold_mean_us) << " us, warm " << Fixed(warm_mean_us)
+            << " us (" << Fixed(cold_mean_us / warm_mean_us)
+            << "x faster warm)\n";
+  bool identical = responses_at_1 == responses_at_8;
+  std::cout << "determinism: responses at 8 workers "
+            << (identical ? "byte-identical to" : "DIVERGE from")
+            << " 1 worker (" << responses_at_1.size() << " responses)\n";
+  return identical && monotonic ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+// Serving: train the verifier and QA models unsupervised, hand their
+// weights to an InferenceEngine, and answer concurrent requests through
+// the Server front end — the same path the `uctr_serve` binary exposes
+// over stdin/stdout (see README.md "Serving").
+//
+// Build & run:  ./build/examples/serving
+
+#include <iostream>
+
+#include "gen/generator.h"
+#include "program/library.h"
+#include "serve/engine.h"
+#include "serve/server.h"
+
+int main() {
+  using namespace uctr;
+
+  TableWithText evidence;
+  evidence.table = Table::FromCsv(
+                       "nation,gold,silver,bronze,total\n"
+                       "united states,10,12,8,30\n"
+                       "china,8,6,10,24\n"
+                       "japan,5,9,4,18\n",
+                       "medal table")
+                       .ValueOrDie();
+
+  // 1. Train both models on synthetic data (no human labels), exactly as
+  //    `uctr_serve train` does, and serialize the weights.
+  Rng rng(42);
+  static const TemplateLibrary& library = TemplateLibrary::Builtin();
+  serve::EngineConfig engine_config;
+
+  GenerationConfig claim_config;
+  claim_config.task = TaskType::kFactVerification;
+  claim_config.program_types = {ProgramType::kLogicalForm};
+  claim_config.samples_per_table = 40;
+  Generator claim_gen(claim_config, &library, &rng);
+  Dataset claims;
+  claims.samples = claim_gen.GenerateFromTable(evidence);
+  model::VerifierModel verifier(engine_config.verifier,
+                                serve::InferenceEngine::VerifierTemplates());
+  verifier.Train(claims, &rng);
+
+  GenerationConfig question_config;
+  question_config.task = TaskType::kQuestionAnswering;
+  question_config.program_types = {ProgramType::kSql,
+                                   ProgramType::kArithmetic};
+  question_config.samples_per_table = 40;
+  Generator question_gen(question_config, &library, &rng);
+  Dataset questions;
+  questions.samples = question_gen.GenerateFromTable(evidence);
+  model::QaModel qa(engine_config.qa, serve::InferenceEngine::QaTemplates());
+  qa.Train(questions, &rng);
+
+  // 2. An engine loads the weights once and serves from any thread.
+  serve::InferenceEngine engine =
+      serve::InferenceEngine::Create(engine_config, verifier.SaveWeights(),
+                                     qa.SaveWeights())
+          .ValueOrDie();
+
+  // 3. The server adds the scheduler (bounded queue, worker pool), the
+  //    result cache, and the line-delimited JSON protocol.
+  serve::ServerConfig server_config;
+  server_config.scheduler.num_workers = 4;
+  serve::Server server(&engine, server_config);
+
+  const char* kRequests[] = {
+      "{\"id\":1,\"op\":\"verify\",\"table\":\"nation,gold\\nchina,8\\n"
+      "japan,5\\n\",\"query\":\"The gold of the row whose nation is china"
+      " is 8.\"}",
+      "{\"id\":2,\"op\":\"verify\",\"table\":\"nation,gold\\nchina,8\\n"
+      "japan,5\\n\",\"query\":\"The gold of the row whose nation is japan"
+      " is 9.\"}",
+      "{\"id\":3,\"op\":\"answer\",\"table\":\"nation,gold\\nchina,8\\n"
+      "japan,5\\n\",\"query\":\"What was the gold of the row whose nation"
+      " is china?\"}",
+      // Identical to request 3 after normalization: served from the cache.
+      "{\"id\":4,\"op\":\"answer\",\"table\":\"nation,gold\\nchina,8\\n"
+      "japan,5\\n\",\"query\":\"  what was the GOLD of the row whose"
+      " nation is china \"}",
+  };
+  for (const char* request : kRequests) {
+    std::cout << "request:  " << request << "\n";
+    std::cout << "response: " << server.HandleLine(request) << "\n\n";
+  }
+
+  std::cout << "metrics:\n" << server.metrics()->ExpositionText();
+  return 0;
+}

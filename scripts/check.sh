@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Sanitizer check: configure, build, and run the test suite under
+# AddressSanitizer + UndefinedBehaviorSanitizer (the UCTR_SANITIZE CMake
+# option). Catches memory errors and UB that the normal Release build
+# hides — run it before merging changes to the concurrent serving path.
+#
+# Usage:
+#   scripts/check.sh                 # full suite
+#   scripts/check.sh serve_test      # one test binary (ctest -R pattern
+#                                    # matches gtest-discovered names)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build-asan}"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B "$BUILD_DIR" -S . -DUCTR_SANITIZE=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+
+cd "$BUILD_DIR"
+if [[ $# -gt 0 ]]; then
+  # Run the named test binaries directly (faster than ctest discovery
+  # when iterating on one suite).
+  for name in "$@"; do
+    "./tests/$name"
+  done
+else
+  ctest --output-on-failure -j "$JOBS"
+fi
+echo "sanitizer check passed"

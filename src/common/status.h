@@ -21,6 +21,8 @@ enum class StatusCode {
   kExecutionError,   ///< A well-formed program failed while executing.
   kEmptyResult,      ///< Execution produced an empty result (paper: discard).
   kInternal,         ///< Invariant violation inside the library.
+  kUnavailable,      ///< Resource temporarily exhausted (serving backpressure).
+  kDeadlineExceeded, ///< A request deadline expired before completion.
 };
 
 /// \brief Returns a stable human-readable name for a code ("ParseError").
@@ -60,6 +62,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,48 +1,15 @@
 #include "gen/serialize.h"
 
-#include <cctype>
-#include <cstdio>
 #include <map>
 #include <variant>
 #include <vector>
 
-#include "common/numeric.h"
+#include "common/json.h"
 #include "common/string_util.h"
 
 namespace uctr {
 
-std::string JsonQuote(std::string_view text) {
-  std::string out = "\"";
-  for (char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
-}
+std::string JsonQuote(std::string_view text) { return json::Quote(text); }
 
 std::string SampleToJson(const Sample& sample) {
   std::string out = "{";
@@ -84,241 +51,10 @@ std::string DatasetToJsonl(const Dataset& dataset) {
   return out;
 }
 
-namespace {
-
-/// Minimal JSON reader for the subset this library writes: objects,
-/// arrays, strings, and non-negative integers.
-class JsonReader {
- public:
-  struct Value;
-  using Object = std::map<std::string, Value>;
-  using Array = std::vector<Value>;
-  struct Value {
-    std::variant<std::string, double, Object, Array> repr;
-
-    bool is_string() const {
-      return std::holds_alternative<std::string>(repr);
-    }
-    bool is_number() const { return std::holds_alternative<double>(repr); }
-    bool is_object() const { return std::holds_alternative<Object>(repr); }
-    bool is_array() const { return std::holds_alternative<Array>(repr); }
-  };
-
-  explicit JsonReader(std::string_view text) : text_(text) {}
-
-  Result<Value> Parse() {
-    UCTR_ASSIGN_OR_RETURN(Value v, ParseValue());
-    SkipSpace();
-    if (pos_ != text_.size()) {
-      return Status::ParseError("trailing JSON content");
-    }
-    return v;
-  }
-
- private:
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  Result<Value> ParseValue() {
-    // Depth guard against adversarial nesting (the format itself nests at
-    // most two levels).
-    if (depth_ > 32) return Status::ParseError("JSON nested too deeply");
-    SkipSpace();
-    if (pos_ >= text_.size()) return Status::ParseError("unexpected end");
-    char c = text_[pos_];
-    if (c == '{') {
-      ++depth_;
-      auto r = ParseObject();
-      --depth_;
-      return r;
-    }
-    if (c == '[') {
-      ++depth_;
-      auto r = ParseArray();
-      --depth_;
-      return r;
-    }
-    if (c == '"') {
-      UCTR_ASSIGN_OR_RETURN(std::string s, ParseString());
-      Value v;
-      v.repr = std::move(s);
-      return v;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
-      size_t start = pos_;
-      if (c == '-') ++pos_;
-      while (pos_ < text_.size() &&
-             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-              text_[pos_] == '.' || text_[pos_] == 'e' ||
-              text_[pos_] == 'E' || text_[pos_] == '+' ||
-              text_[pos_] == '-')) {
-        ++pos_;
-      }
-      auto number = ParseNumber(text_.substr(start, pos_ - start));
-      if (!number) {
-        return Status::ParseError("malformed JSON number");
-      }
-      Value v;
-      v.repr = *number;
-      return v;
-    }
-    return Status::ParseError("unsupported JSON token at offset " +
-                              std::to_string(pos_));
-  }
-
-  Result<std::string> ParseString() {
-    if (text_[pos_] != '"') return Status::ParseError("expected string");
-    ++pos_;
-    std::string out;
-    while (pos_ < text_.size()) {
-      char c = text_[pos_];
-      if (c == '"') {
-        ++pos_;
-        return out;
-      }
-      if (c == '\\') {
-        ++pos_;
-        if (pos_ >= text_.size()) break;
-        char esc = text_[pos_];
-        switch (esc) {
-          case '"':
-            out += '"';
-            break;
-          case '\\':
-            out += '\\';
-            break;
-          case '/':
-            out += '/';
-            break;
-          case 'n':
-            out += '\n';
-            break;
-          case 'r':
-            out += '\r';
-            break;
-          case 't':
-            out += '\t';
-            break;
-          case 'u': {
-            if (pos_ + 4 >= text_.size()) {
-              return Status::ParseError("bad \\u escape");
-            }
-            int code = 0;
-            for (size_t k = 1; k <= 4; ++k) {
-              char h = text_[pos_ + k];
-              int digit;
-              if (h >= '0' && h <= '9') digit = h - '0';
-              else if (h >= 'a' && h <= 'f') digit = h - 'a' + 10;
-              else if (h >= 'A' && h <= 'F') digit = h - 'A' + 10;
-              else return Status::ParseError("bad \\u escape digit");
-              code = code * 16 + digit;
-            }
-            out += static_cast<char>(code);  // control chars only
-            pos_ += 4;
-            break;
-          }
-          default:
-            return Status::ParseError("unknown escape");
-        }
-        ++pos_;
-      } else {
-        out += c;
-        ++pos_;
-      }
-    }
-    return Status::ParseError("unterminated string");
-  }
-
-  Result<Value> ParseObject() {
-    ++pos_;  // '{'
-    Object obj;
-    SkipSpace();
-    if (pos_ < text_.size() && text_[pos_] == '}') {
-      ++pos_;
-      Value v;
-      v.repr = std::move(obj);
-      return v;
-    }
-    while (true) {
-      SkipSpace();
-      UCTR_ASSIGN_OR_RETURN(std::string key, ParseString());
-      SkipSpace();
-      if (pos_ >= text_.size() || text_[pos_] != ':') {
-        return Status::ParseError("expected ':'");
-      }
-      ++pos_;
-      UCTR_ASSIGN_OR_RETURN(Value value, ParseValue());
-      obj.emplace(std::move(key), std::move(value));
-      SkipSpace();
-      if (pos_ >= text_.size()) return Status::ParseError("unterminated {");
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == '}') {
-        ++pos_;
-        Value v;
-        v.repr = std::move(obj);
-        return v;
-      }
-      return Status::ParseError("expected ',' or '}'");
-    }
-  }
-
-  Result<Value> ParseArray() {
-    ++pos_;  // '['
-    Array arr;
-    SkipSpace();
-    if (pos_ < text_.size() && text_[pos_] == ']') {
-      ++pos_;
-      Value v;
-      v.repr = std::move(arr);
-      return v;
-    }
-    while (true) {
-      UCTR_ASSIGN_OR_RETURN(Value value, ParseValue());
-      arr.push_back(std::move(value));
-      SkipSpace();
-      if (pos_ >= text_.size()) return Status::ParseError("unterminated [");
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == ']') {
-        ++pos_;
-        Value v;
-        v.repr = std::move(arr);
-        return v;
-      }
-      return Status::ParseError("expected ',' or ']'");
-    }
-  }
-
-  std::string_view text_;
-  size_t pos_ = 0;
-  size_t depth_ = 0;
-};
-
-Result<std::string> GetString(const JsonReader::Object& obj,
-                              const std::string& key) {
-  auto it = obj.find(key);
-  if (it == obj.end() || !it->second.is_string()) {
-    return Status::ParseError("missing string field '" + key + "'");
-  }
-  return std::get<std::string>(it->second.repr);
-}
-
-}  // namespace
-
-Result<Sample> SampleFromJson(std::string_view json) {
-  JsonReader reader(json);
-  UCTR_ASSIGN_OR_RETURN(JsonReader::Value root, reader.Parse());
+Result<Sample> SampleFromJson(std::string_view json_text) {
+  UCTR_ASSIGN_OR_RETURN(json::Value root, json::Parse(json_text));
   if (!root.is_object()) return Status::ParseError("expected JSON object");
-  const auto& obj = std::get<JsonReader::Object>(root.repr);
+  const auto& obj = std::get<json::Value::Object>(root.repr);
 
   // Reject unknown fields: this is a fixed data format.
   for (const auto& [key, value] : obj) {
@@ -331,32 +67,32 @@ Result<Sample> SampleFromJson(std::string_view json) {
   }
 
   Sample sample;
-  UCTR_ASSIGN_OR_RETURN(std::string task, GetString(obj, "task"));
+  UCTR_ASSIGN_OR_RETURN(std::string task, json::GetString(obj, "task"));
   if (task == "fact_verification") {
     sample.task = TaskType::kFactVerification;
-    UCTR_ASSIGN_OR_RETURN(std::string label, GetString(obj, "label"));
+    UCTR_ASSIGN_OR_RETURN(std::string label, json::GetString(obj, "label"));
     if (label == "Supported") sample.label = Label::kSupported;
     else if (label == "Refuted") sample.label = Label::kRefuted;
     else if (label == "Unknown") sample.label = Label::kUnknown;
     else return Status::ParseError("bad label '" + label + "'");
   } else if (task == "question_answering") {
     sample.task = TaskType::kQuestionAnswering;
-    UCTR_ASSIGN_OR_RETURN(sample.answer, GetString(obj, "answer"));
+    UCTR_ASSIGN_OR_RETURN(sample.answer, json::GetString(obj, "answer"));
   } else {
     return Status::ParseError("bad task '" + task + "'");
   }
 
-  UCTR_ASSIGN_OR_RETURN(sample.sentence, GetString(obj, "sentence"));
-  UCTR_ASSIGN_OR_RETURN(std::string csv, GetString(obj, "table"));
+  UCTR_ASSIGN_OR_RETURN(sample.sentence, json::GetString(obj, "sentence"));
+  UCTR_ASSIGN_OR_RETURN(std::string csv, json::GetString(obj, "table"));
   std::string name = "table";
-  if (auto n = GetString(obj, "table_name"); n.ok()) {
+  if (auto n = json::GetString(obj, "table_name"); n.ok()) {
     name = n.ValueOrDie();
   }
   UCTR_ASSIGN_OR_RETURN(sample.table, Table::FromCsv(csv, name));
 
   if (auto it = obj.find("paragraph");
       it != obj.end() && it->second.is_array()) {
-    for (const auto& entry : std::get<JsonReader::Array>(it->second.repr)) {
+    for (const auto& entry : std::get<json::Value::Array>(it->second.repr)) {
       if (!entry.is_string()) {
         return Status::ParseError("paragraph entries must be strings");
       }
@@ -366,8 +102,8 @@ Result<Sample> SampleFromJson(std::string_view json) {
 
   if (auto it = obj.find("program");
       it != obj.end() && it->second.is_object()) {
-    const auto& prog = std::get<JsonReader::Object>(it->second.repr);
-    UCTR_ASSIGN_OR_RETURN(std::string type, GetString(prog, "type"));
+    const auto& prog = std::get<json::Value::Object>(it->second.repr);
+    UCTR_ASSIGN_OR_RETURN(std::string type, json::GetString(prog, "type"));
     if (type == "sql") sample.program.type = ProgramType::kSql;
     else if (type == "logical_form") {
       sample.program.type = ProgramType::kLogicalForm;
@@ -376,13 +112,13 @@ Result<Sample> SampleFromJson(std::string_view json) {
     } else {
       return Status::ParseError("bad program type '" + type + "'");
     }
-    UCTR_ASSIGN_OR_RETURN(sample.program.text, GetString(prog, "text"));
+    UCTR_ASSIGN_OR_RETURN(sample.program.text, json::GetString(prog, "text"));
   }
 
-  if (auto r = GetString(obj, "reasoning_type"); r.ok()) {
+  if (auto r = json::GetString(obj, "reasoning_type"); r.ok()) {
     sample.reasoning_type = r.ValueOrDie();
   }
-  if (auto s = GetString(obj, "source"); s.ok()) {
+  if (auto s = json::GetString(obj, "source"); s.ok()) {
     const std::string& source = s.ValueOrDie();
     if (source == "table_only") sample.source = EvidenceSource::kTableOnly;
     else if (source == "table_split") {
@@ -397,7 +133,7 @@ Result<Sample> SampleFromJson(std::string_view json) {
   }
   if (auto it = obj.find("evidence_rows");
       it != obj.end() && it->second.is_array()) {
-    for (const auto& entry : std::get<JsonReader::Array>(it->second.repr)) {
+    for (const auto& entry : std::get<json::Value::Array>(it->second.repr)) {
       if (!entry.is_number()) {
         return Status::ParseError("evidence rows must be numbers");
       }

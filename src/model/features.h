@@ -35,6 +35,14 @@ class FeatureExtractor {
   FeatureExtractor(FeatureConfig config, const NlInterpreter* interpreter)
       : config_(config), interpreter_(interpreter) {}
 
+  /// \brief Re-points the interpreter. Owners that embed both the
+  /// interpreter and this extractor (VerifierModel) call this after a
+  /// copy/move so the pointer tracks the new owner's interpreter instead
+  /// of dangling into the source object.
+  void set_interpreter(const NlInterpreter* interpreter) {
+    interpreter_ = interpreter;
+  }
+
   FeatureVector Extract(const Sample& sample) const;
 
  private:

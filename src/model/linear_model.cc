@@ -1,8 +1,11 @@
 #include "model/linear_model.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <optional>
 
 #include "common/numeric.h"
 #include "common/string_util.h"
@@ -106,7 +109,41 @@ std::string LinearModel::SaveToString() const {
   return out;
 }
 
+namespace {
+
+/// Strict non-negative integer: digits only (ParseNumber is deliberately
+/// lenient about currency/percent text, which a weight file must not
+/// contain).
+std::optional<size_t> ParseIndex(const std::string& text) {
+  if (text.empty() || text.size() > 18) return std::nullopt;
+  size_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<size_t>(c - '0');
+  }
+  return value;
+}
+
+/// Strict finite decimal/scientific float, full-string match.
+std::optional<double> ParseWeightValue(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || errno == ERANGE ||
+      !std::isfinite(value)) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace
+
 Result<LinearModel> LinearModel::LoadFromString(std::string_view text) {
+  // Validation contract: either the whole file is well-formed and the
+  // returned model is fully populated, or a ParseError comes back and no
+  // model escapes — a truncated, corrupt, or concatenated file can never
+  // produce a silently half-loaded model.
   std::vector<std::string> lines = Split(text, '\n');
   size_t line = 0;
   auto next_line = [&]() -> Result<std::string> {
@@ -123,34 +160,60 @@ Result<LinearModel> LinearModel::LoadFromString(std::string_view text) {
   UCTR_ASSIGN_OR_RETURN(std::string dims, next_line());
   std::vector<std::string> parts = SplitWhitespace(dims);
   if (parts.size() != 2) return Status::ParseError("bad dimensions line");
-  auto classes = ParseNumber(parts[0]);
-  auto dim = ParseNumber(parts[1]);
-  if (!classes || !dim || *classes < 2 || *dim < 1) {
+  auto classes = ParseIndex(parts[0]);
+  auto dim = ParseIndex(parts[1]);
+  constexpr size_t kMaxClasses = 1u << 16;
+  constexpr size_t kMaxDim = 1u << 28;
+  if (!classes || !dim || *classes < 2 || *classes > kMaxClasses ||
+      *dim < 1 || *dim > kMaxDim) {
     return Status::ParseError("bad dimensions");
   }
-  LinearModel model(static_cast<int>(*classes),
-                    static_cast<size_t>(*dim));
+  LinearModel model(static_cast<int>(*classes), *dim);
 
-  auto load = [&](std::vector<float>* values) -> Status {
+  auto load = [&](std::vector<float>* values, bool non_negative) -> Status {
     UCTR_ASSIGN_OR_RETURN(std::string count_line, next_line());
-    auto count = ParseNumber(Trim(count_line));
-    if (!count || *count < 0) return Status::ParseError("bad entry count");
-    for (size_t i = 0; i < static_cast<size_t>(*count); ++i) {
+    auto count = ParseIndex(Trim(count_line));
+    if (!count) return Status::ParseError("bad entry count");
+    if (*count > values->size()) {
+      return Status::ParseError("entry count exceeds weight matrix size");
+    }
+    // Entries are written in ascending index order; enforcing that catches
+    // duplicated, reordered, or spliced-together files.
+    bool first = true;
+    size_t last_index = 0;
+    for (size_t i = 0; i < *count; ++i) {
       UCTR_ASSIGN_OR_RETURN(std::string entry, next_line());
       std::vector<std::string> fields = SplitWhitespace(entry);
       if (fields.size() != 2) return Status::ParseError("bad weight entry");
-      auto index = ParseNumber(fields[0]);
-      auto value = ParseNumber(fields[1]);
-      if (!index || !value || *index < 0 ||
-          static_cast<size_t>(*index) >= values->size()) {
+      auto index = ParseIndex(fields[0]);
+      auto value = ParseWeightValue(fields[1]);
+      if (!index || *index >= values->size()) {
         return Status::ParseError("weight index out of range");
       }
-      (*values)[static_cast<size_t>(*index)] = static_cast<float>(*value);
+      if (!value) {
+        return Status::ParseError("non-finite or malformed weight value");
+      }
+      if (non_negative && *value < 0.0) {
+        return Status::ParseError("negative AdaGrad accumulator");
+      }
+      if (!first && *index <= last_index) {
+        return Status::ParseError("weight indices not strictly ascending");
+      }
+      first = false;
+      last_index = *index;
+      (*values)[*index] = static_cast<float>(*value);
     }
     return Status::OK();
   };
-  UCTR_RETURN_NOT_OK(load(&model.weights_));
-  UCTR_RETURN_NOT_OK(load(&model.adagrad_));
+  UCTR_RETURN_NOT_OK(load(&model.weights_, /*non_negative=*/false));
+  UCTR_RETURN_NOT_OK(load(&model.adagrad_, /*non_negative=*/true));
+  // Anything besides trailing blank lines means the file was not produced
+  // by SaveToString (e.g. two files concatenated): reject it.
+  for (; line < lines.size(); ++line) {
+    if (!Trim(lines[line]).empty()) {
+      return Status::ParseError("trailing content after model data");
+    }
+  }
   return model;
 }
 

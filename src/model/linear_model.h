@@ -68,7 +68,9 @@ class LinearModel {
   /// trained model can be stored and later resumed or served.
   std::string SaveToString() const;
 
-  /// \brief Restores a model saved by SaveToString.
+  /// \brief Restores a model saved by SaveToString. All-or-nothing: a
+  /// truncated, corrupt, out-of-order, non-finite, or trailing-garbage
+  /// file yields a ParseError and never a partially initialized model.
   static Result<LinearModel> LoadFromString(std::string_view text);
 
  private:

@@ -40,6 +40,15 @@ struct QaConfig {
 /// gold, UCTR synthetic, or MQA-QG) re-ranks the candidates; the best
 /// candidate's execution result is the answer. A span-extraction fallback
 /// covers questions whose answer lives in the paragraph.
+///
+/// Thread safety (audited for the serving subsystem): Predict and
+/// PredictCorrect are const over state written only by the constructor,
+/// Train, and LoadWeights; there are no mutable members or lazy caches on
+/// the inference path, so concurrent Predict calls are data-race-free.
+/// (Unlike VerifierModel, the extractor here never points back into this
+/// object — it is constructed with a null interpreter — so the default
+/// copy/move are safe.) Train/LoadWeights must be externally serialized
+/// against concurrent Predict calls.
 class QaModel {
  public:
   QaModel(QaConfig config, std::vector<ProgramTemplate> question_templates);
@@ -59,6 +68,11 @@ class QaModel {
   /// \brief Serializes the trained template classifier; restore with
   /// LoadWeights on a model built with the same templates and config.
   std::string SaveWeights() const;
+
+  /// \brief Restores weights saved by SaveWeights. Returns an error
+  /// Status on truncated/corrupt input or a template-count/dimension
+  /// mismatch with this model's shape; on error the current classifier is
+  /// left untouched (never a half-loaded model).
   Status LoadWeights(std::string_view text);
 
  private:

@@ -34,10 +34,25 @@ struct VerifierConfig {
 /// Training data decides everything else — the same architecture is
 /// trained on gold data (supervised), UCTR synthetic data (unsupervised),
 /// MQA-QG data (baseline), or a few labeled samples (few-shot).
+/// Thread safety (audited for the serving subsystem): Predict and
+/// Accuracy are const over state written only by the constructor, Train,
+/// and LoadWeights — there are no mutable members, lazy caches, or
+/// globals on the inference path (NlInterpreter, FeatureExtractor,
+/// TextToTable, LinearModel are likewise const-correct). Concurrent
+/// Predict calls are therefore data-race-free; Train/LoadWeights must be
+/// externally serialized against them.
 class VerifierModel {
  public:
   VerifierModel(VerifierConfig config,
                 std::vector<ProgramTemplate> claim_templates);
+
+  // The extractor holds a pointer to this object's interpreter, so the
+  // compiler-generated copy/move would leave it aimed at the source
+  // object (dangling once the source dies). These overloads re-link it.
+  VerifierModel(const VerifierModel& other);
+  VerifierModel& operator=(const VerifierModel& other);
+  VerifierModel(VerifierModel&& other) noexcept;
+  VerifierModel& operator=(VerifierModel&& other) noexcept;
 
   /// \brief Trains (or continues training) on `data`.
   void Train(const Dataset& data, Rng* rng);
@@ -51,11 +66,20 @@ class VerifierModel {
   /// config are code, not state). Restore with LoadWeights on a model
   /// built with the same config.
   std::string SaveWeights() const;
+
+  /// \brief Restores weights saved by SaveWeights. Returns an error
+  /// Status on truncated/corrupt input or a class-count/dimension
+  /// mismatch with this model's config; on error the current weights are
+  /// left untouched (never a half-loaded model).
   Status LoadWeights(std::string_view text);
 
  private:
   /// The sample with its paragraph folded into the table when possible.
   Sample WithTextEvidence(const Sample& sample) const;
+
+  /// Points extractor_ at this object's interpreter_ (or null when
+  /// interpreter features are disabled). Called after copy/move.
+  void RelinkExtractor();
 
   VerifierConfig config_;
   NlInterpreter interpreter_;

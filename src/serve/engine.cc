@@ -1,0 +1,60 @@
+#include "serve/engine.h"
+
+#include <utility>
+
+#include "program/library.h"
+
+namespace uctr::serve {
+
+std::vector<ProgramTemplate> InferenceEngine::VerifierTemplates() {
+  return BuiltinLogicTemplates();
+}
+
+std::vector<ProgramTemplate> InferenceEngine::QaTemplates() {
+  std::vector<ProgramTemplate> templates = BuiltinSqlTemplates();
+  for (ProgramTemplate& t : BuiltinArithTemplates()) {
+    templates.push_back(std::move(t));
+  }
+  return templates;
+}
+
+InferenceEngine::InferenceEngine(const EngineConfig& config)
+    : verifier_(config.verifier, VerifierTemplates()),
+      qa_(config.qa, QaTemplates()) {}
+
+Result<InferenceEngine> InferenceEngine::Create(
+    const EngineConfig& config, std::string_view verifier_weights,
+    std::string_view qa_weights) {
+  InferenceEngine engine(config);
+  if (!verifier_weights.empty()) {
+    UCTR_RETURN_NOT_OK(engine.verifier_.LoadWeights(verifier_weights));
+  }
+  if (!qa_weights.empty()) {
+    UCTR_RETURN_NOT_OK(engine.qa_.LoadWeights(qa_weights));
+  }
+  return engine;
+}
+
+std::string InferenceEngine::Verify(
+    const Table& table, const std::string& claim,
+    const std::vector<std::string>& paragraph) const {
+  Sample sample;
+  sample.task = TaskType::kFactVerification;
+  sample.table = table;
+  sample.sentence = claim;
+  sample.paragraph = paragraph;
+  return LabelToString(verifier_.Predict(sample));
+}
+
+std::string InferenceEngine::Answer(
+    const Table& table, const std::string& question,
+    const std::vector<std::string>& paragraph) const {
+  Sample sample;
+  sample.task = TaskType::kQuestionAnswering;
+  sample.table = table;
+  sample.sentence = question;
+  sample.paragraph = paragraph;
+  return qa_.Predict(sample);
+}
+
+}  // namespace uctr::serve

@@ -1,0 +1,70 @@
+#ifndef UCTR_SERVE_ENGINE_H_
+#define UCTR_SERVE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "model/qa_model.h"
+#include "model/verifier.h"
+#include "table/table.h"
+
+namespace uctr::serve {
+
+/// \brief Model configuration for a serving engine. The template sets are
+/// fixed by VerifierTemplates()/QaTemplates() so that weights trained by
+/// `uctr_serve train` (or any caller of the same helpers) always match the
+/// serving-side model shape.
+struct EngineConfig {
+  model::VerifierConfig verifier;
+  model::QaConfig qa;
+};
+
+/// \brief Loads the trained verifier + QA models and the template library
+/// once, then answers Verify/Answer requests from any number of threads.
+///
+/// Thread safety: both entry points are `const` and the engine is
+/// immutable after Create. The underlying inference path was audited for
+/// this PR: VerifierModel::Predict, QaModel::Predict, NlInterpreter,
+/// FeatureExtractor, TextToTable, and LinearModel::Scores are all `const`
+/// methods over state written only during construction/LoadWeights, with
+/// no mutable members, caches, or globals — so concurrent calls are
+/// data-race-free by construction. Training (`Train`) is NOT part of the
+/// serving API and must never run concurrently with serving.
+class InferenceEngine {
+ public:
+  /// \brief Builds the engine and restores weights. Either weight string
+  /// may be empty, which leaves that model untrained (it still answers,
+  /// using pure program interpretation); a non-empty string that fails
+  /// validation is an error.
+  static Result<InferenceEngine> Create(const EngineConfig& config,
+                                        std::string_view verifier_weights,
+                                        std::string_view qa_weights);
+
+  /// \brief Verdict for `claim` over `table` (+ optional paragraph
+  /// sentences): "Supported", "Refuted", or "Unknown".
+  std::string Verify(const Table& table, const std::string& claim,
+                     const std::vector<std::string>& paragraph) const;
+
+  /// \brief Answer display string for `question`; empty when the model
+  /// abstains.
+  std::string Answer(const Table& table, const std::string& question,
+                     const std::vector<std::string>& paragraph) const;
+
+  /// \brief The claim templates the serving verifier interprets with.
+  static std::vector<ProgramTemplate> VerifierTemplates();
+  /// \brief The question templates (SQL + arithmetic) the QA model uses.
+  static std::vector<ProgramTemplate> QaTemplates();
+
+ private:
+  InferenceEngine(const EngineConfig& config);
+
+  model::VerifierModel verifier_;
+  model::QaModel qa_;
+};
+
+}  // namespace uctr::serve
+
+#endif  // UCTR_SERVE_ENGINE_H_

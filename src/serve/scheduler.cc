@@ -1,0 +1,101 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+
+namespace uctr::serve {
+
+Scheduler::Scheduler(SchedulerConfig config, MetricsRegistry* metrics)
+    : config_(config) {
+  config_.num_workers = std::max<size_t>(config_.num_workers, 1);
+  config_.queue_capacity = std::max<size_t>(config_.queue_capacity, 1);
+  if (metrics != nullptr) {
+    submitted_ = metrics->counter("jobs_submitted_total");
+    rejected_ = metrics->counter("jobs_rejected_total");
+    expired_ = metrics->counter("jobs_expired_total");
+    queue_wait_us_ = metrics->histogram("latency_queue_wait_us");
+  }
+  workers_.reserve(config_.num_workers);
+  for (size_t i = 0; i < config_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Scheduler::~Scheduler() { Shutdown(); }
+
+Status Scheduler::Submit(Job job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      if (rejected_ != nullptr) rejected_->Increment();
+      return Status::Unavailable("scheduler is shut down");
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      if (rejected_ != nullptr) rejected_->Increment();
+      return Status::Unavailable("request queue full (" +
+                                 std::to_string(config_.queue_capacity) +
+                                 " pending)");
+    }
+    queue_.push_back(QueuedJob{std::move(job), Clock::now()});
+    if (submitted_ != nullptr) submitted_->Increment();
+  }
+  not_empty_.notify_one();
+  return Status::OK();
+}
+
+void Scheduler::WorkerLoop() {
+  while (true) {
+    QueuedJob item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+
+    Clock::time_point now = Clock::now();
+    if (queue_wait_us_ != nullptr) {
+      queue_wait_us_->Observe(
+          std::chrono::duration<double, std::micro>(now - item.enqueue_time)
+              .count());
+    }
+    if (now > item.job.deadline) {
+      if (expired_ != nullptr) expired_->Increment();
+      if (item.job.on_expired) item.job.on_expired();
+    } else if (item.job.run) {
+      item.job.run();
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+    }
+    idle_.notify_all();
+  }
+}
+
+void Scheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void Scheduler::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  not_empty_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+size_t Scheduler::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace uctr::serve

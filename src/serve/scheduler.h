@@ -1,0 +1,99 @@
+#ifndef UCTR_SERVE_SCHEDULER_H_
+#define UCTR_SERVE_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/metrics.h"
+
+namespace uctr::serve {
+
+/// \brief Worker-pool knobs.
+struct SchedulerConfig {
+  size_t num_workers = 4;
+  /// Maximum queued (not yet running) jobs; Submit rejects above this.
+  size_t queue_capacity = 256;
+};
+
+/// \brief A fixed worker pool over a bounded FIFO queue with backpressure
+/// and per-job deadlines.
+///
+/// - Submit never blocks: when the queue is full it returns
+///   Status::Unavailable immediately (the caller surfaces a `rejected`
+///   response — load shedding, not buffering).
+/// - A job whose deadline has passed by the time a worker picks it up is
+///   not run; its `on_expired` callback fires instead (the admission-time
+///   half of deadline handling; jobs are not preempted mid-run).
+/// - Shutdown() drains the queue (running or expiring every queued job)
+///   and joins the workers; the destructor calls it.
+class Scheduler {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Job {
+    /// Executed on a worker thread.
+    std::function<void()> run;
+    /// Executed instead of `run` when the deadline expired in-queue.
+    /// May be empty (the job is then silently dropped on expiry).
+    std::function<void()> on_expired;
+    /// Default: no deadline.
+    Clock::time_point deadline = Clock::time_point::max();
+  };
+
+  /// \param metrics optional; when set, records `jobs_submitted_total`,
+  ///        `jobs_rejected_total`, `jobs_expired_total`, and the
+  ///        `latency_queue_wait_us` histogram.
+  explicit Scheduler(SchedulerConfig config,
+                     MetricsRegistry* metrics = nullptr);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// \brief Enqueues a job, or rejects with Status::Unavailable when the
+  /// queue is at capacity (backpressure) or the scheduler is shut down.
+  Status Submit(Job job);
+
+  /// \brief Blocks until every submitted job has finished (or expired).
+  void Drain();
+
+  /// \brief Stops accepting jobs, drains the queue, joins all workers.
+  /// Idempotent.
+  void Shutdown();
+
+  size_t QueueDepth() const;
+  size_t num_workers() const { return workers_.size(); }
+
+ private:
+  struct QueuedJob {
+    Job job;
+    Clock::time_point enqueue_time;
+  };
+
+  void WorkerLoop();
+
+  SchedulerConfig config_;
+  Counter* submitted_ = nullptr;
+  Counter* rejected_ = nullptr;
+  Counter* expired_ = nullptr;
+  Histogram* queue_wait_us_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable idle_;
+  std::deque<QueuedJob> queue_;
+  size_t in_flight_ = 0;  // dequeued but not yet finished
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace uctr::serve
+
+#endif  // UCTR_SERVE_SCHEDULER_H_

@@ -1,0 +1,192 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+
+namespace uctr::serve {
+
+namespace {
+
+std::string ResponseLine(uint64_t id, const std::string& status,
+                         const std::string& field_name,
+                         const std::string& field_value) {
+  std::string out = "{\"id\":" + std::to_string(id) +
+                    ",\"status\":" + json::Quote(status);
+  if (!field_name.empty()) {
+    out += "," + json::Quote(field_name) + ":" + json::Quote(field_value);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+uint64_t OrderedResponseWriter::NextSequence() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_assign_++;
+}
+
+void OrderedResponseWriter::Write(uint64_t sequence, std::string line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.emplace(sequence, std::move(line));
+  while (!pending_.empty() && pending_.begin()->first == next_flush_) {
+    sink_(pending_.begin()->second);
+    pending_.erase(pending_.begin());
+    ++next_flush_;
+  }
+}
+
+Server::Server(const InferenceEngine* engine, ServerConfig config)
+    : engine_(engine),
+      config_(config),
+      cache_(config.cache_capacity, config.cache_shards, &metrics_),
+      scheduler_(config.scheduler, &metrics_),
+      requests_total_(metrics_.counter("requests_total")),
+      responses_ok_(metrics_.counter("responses_ok_total")),
+      responses_rejected_(metrics_.counter("responses_rejected_total")),
+      responses_timeout_(metrics_.counter("responses_timeout_total")),
+      responses_error_(metrics_.counter("responses_error_total")),
+      execute_us_(metrics_.histogram("latency_execute_us")) {}
+
+Server::~Server() { scheduler_.Shutdown(); }
+
+void Server::Drain() { scheduler_.Drain(); }
+
+void Server::SubmitLine(const std::string& line,
+                        std::function<void(std::string)> done) {
+  requests_total_->Increment();
+
+  auto parsed = json::Parse(line);
+  if (!parsed.ok()) {
+    responses_error_->Increment();
+    done(ResponseLine(0, "error", "error", parsed.status().ToString()));
+    return;
+  }
+  if (!parsed->is_object()) {
+    responses_error_->Increment();
+    done(ResponseLine(0, "error", "error", "request must be a JSON object"));
+    return;
+  }
+  const json::Value::Object& obj = parsed->as_object();
+  uint64_t id = static_cast<uint64_t>(json::GetNumberOr(obj, "id", 0));
+  std::string op = json::GetStringOr(obj, "op", "");
+
+  if (op == "ping") {
+    responses_ok_->Increment();
+    done(ResponseLine(id, "ok", "", ""));
+    return;
+  }
+  if (op == "metrics") {
+    responses_ok_->Increment();
+    done(ResponseLine(id, "ok", "metrics", metrics_.ExpositionText()));
+    return;
+  }
+  if (op != "verify" && op != "answer") {
+    responses_error_->Increment();
+    done(ResponseLine(id, "error", "error",
+                      "unknown op '" + op + "' (verify|answer|metrics|ping)"));
+    return;
+  }
+
+  auto csv = json::GetString(obj, "table");
+  auto query = json::GetString(obj, "query");
+  if (!csv.ok() || !query.ok()) {
+    responses_error_->Increment();
+    done(ResponseLine(id, "error", "error",
+                      (!csv.ok() ? csv.status() : query.status()).ToString()));
+    return;
+  }
+  std::vector<std::string> paragraph;
+  if (auto it = obj.find("paragraph");
+      it != obj.end() && it->second.is_array()) {
+    for (const json::Value& entry : it->second.as_array()) {
+      if (entry.is_string()) paragraph.push_back(entry.as_string());
+    }
+  }
+
+  // Cache probe on the raw evidence text: no parsing on the hit path.
+  // Paragraph sentences are part of the evidence, so they join the
+  // fingerprint (same claim + same table + different text may differ).
+  uint64_t fp = ResultCache::FingerprintCsv(*csv);
+  for (const std::string& sentence : paragraph) {
+    fp = ResultCache::FingerprintCsv(sentence) ^ (fp * 1099511628211ull);
+  }
+  std::string cache_key = op + "\x1f" + ResultCache::NormalizeQuery(*query);
+  if (auto hit = cache_.Get(fp, cache_key)) {
+    // Rewrite the id: the cached body is id-independent.
+    responses_ok_->Increment();
+    done(ResponseLine(id, "ok", op == "verify" ? "label" : "answer", *hit));
+    return;
+  }
+
+  double timeout_ms = json::GetNumberOr(
+      obj, "timeout_ms", static_cast<double>(config_.default_timeout_ms));
+  Scheduler::Job job;
+  if (timeout_ms > 0 && std::isfinite(timeout_ms)) {
+    job.deadline = Scheduler::Clock::now() +
+                   std::chrono::microseconds(
+                       static_cast<int64_t>(timeout_ms * 1000.0));
+  }
+
+  // The worker owns the parsed request pieces via the closure.
+  auto shared_done =
+      std::make_shared<std::function<void(std::string)>>(std::move(done));
+  job.run = [this, id, op, csv = std::move(*csv),
+             query = std::move(*query), paragraph = std::move(paragraph),
+             fp, cache_key, shared_done] {
+    if (config_.pre_execute_hook) config_.pre_execute_hook();
+    auto started = Scheduler::Clock::now();
+    auto table = Table::FromCsv(csv);
+    if (!table.ok()) {
+      responses_error_->Increment();
+      (*shared_done)(ResponseLine(id, "error", "error",
+                                  "table: " + table.status().ToString()));
+      return;
+    }
+    std::string body = op == "verify"
+                           ? engine_->Verify(*table, query, paragraph)
+                           : engine_->Answer(*table, query, paragraph);
+    execute_us_->Observe(std::chrono::duration<double, std::micro>(
+                             Scheduler::Clock::now() - started)
+                             .count());
+    cache_.Put(fp, cache_key, body);
+    responses_ok_->Increment();
+    (*shared_done)(
+        ResponseLine(id, "ok", op == "verify" ? "label" : "answer", body));
+  };
+  job.on_expired = [this, id, shared_done] {
+    responses_timeout_->Increment();
+    (*shared_done)(
+        ResponseLine(id, "timeout", "error", "deadline expired in queue"));
+  };
+
+  Status submitted = scheduler_.Submit(std::move(job));
+  if (!submitted.ok()) {
+    responses_rejected_->Increment();
+    (*shared_done)(ResponseLine(id, "rejected", "error",
+                                submitted.message()));
+  }
+}
+
+std::string Server::HandleLine(const std::string& line) {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::string response;
+  bool ready = false;
+  SubmitLine(line, [&](std::string r) {
+    std::lock_guard<std::mutex> lock(mu);
+    response = std::move(r);
+    ready = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return ready; });
+  return response;
+}
+
+}  // namespace uctr::serve

@@ -1,0 +1,121 @@
+#ifndef UCTR_SERVE_SERVER_H_
+#define UCTR_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/engine.h"
+#include "serve/metrics.h"
+#include "serve/result_cache.h"
+#include "serve/scheduler.h"
+
+namespace uctr::serve {
+
+/// \brief Serving knobs: worker pool, admission queue, cache, deadlines.
+struct ServerConfig {
+  SchedulerConfig scheduler;
+  size_t cache_capacity = 4096;
+  size_t cache_shards = 8;
+  /// Applied when a request carries no `timeout_ms`; 0 = no deadline.
+  int64_t default_timeout_ms = 0;
+  /// Invoked on the worker thread before each cache-miss execution.
+  /// Hook for benches and tests: inject a simulated evidence-fetch stall
+  /// (bench_serving uses this to measure worker overlap independently of
+  /// core count) or tracing. Never called on the cache-hit path.
+  std::function<void()> pre_execute_hook;
+};
+
+/// \brief The request/response front of the serving subsystem.
+///
+/// Wire format: line-delimited JSON. One request object per line:
+///
+///   {"id":1,"op":"verify","table":"<csv>","query":"<claim>",
+///    "paragraph":["..."],"timeout_ms":250}
+///   {"id":2,"op":"answer","table":"<csv>","query":"<question>"}
+///   {"op":"metrics"}   {"op":"ping"}
+///
+/// One response object per line (no "cached" marker: responses are
+/// byte-identical whether they came from the cache or a worker, so the
+/// same request stream yields the same bytes at any worker count):
+///
+///   {"id":1,"status":"ok","label":"Supported"}
+///   {"id":2,"status":"ok","answer":"$2,350.4"}
+///   {"id":3,"status":"rejected","error":"request queue full..."}
+///   {"id":4,"status":"timeout","error":"deadline expired in queue"}
+///   {"id":5,"status":"error","error":"table: bad CSV ..."}
+///
+/// Flow: parse (caller thread) -> cache probe (caller thread; hits answer
+/// immediately) -> bounded scheduler queue (reject = backpressure) ->
+/// worker executes inference -> cache fill -> done callback.
+class Server {
+ public:
+  /// \param engine not owned; must outlive the server.
+  Server(const InferenceEngine* engine, ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// \brief Submits one request line. `done` is invoked exactly once with
+  /// the response line (no trailing newline) — inline on the caller's
+  /// thread for cache hits, parse errors, rejects, and admin ops; on a
+  /// worker thread otherwise.
+  void SubmitLine(const std::string& line,
+                  std::function<void(std::string)> done);
+
+  /// \brief Synchronous convenience wrapper (used by tests/examples):
+  /// blocks until the response for this one request is ready.
+  std::string HandleLine(const std::string& line);
+
+  /// \brief Blocks until all submitted requests have completed.
+  void Drain();
+
+  MetricsRegistry* metrics() { return &metrics_; }
+  ResultCache* cache() { return &cache_; }
+  Scheduler* scheduler() { return &scheduler_; }
+
+ private:
+  const InferenceEngine* engine_;
+  ServerConfig config_;
+  MetricsRegistry metrics_;
+  ResultCache cache_;
+  Scheduler scheduler_;
+
+  Counter* requests_total_;
+  Counter* responses_ok_;
+  Counter* responses_rejected_;
+  Counter* responses_timeout_;
+  Counter* responses_error_;
+  Histogram* execute_us_;
+};
+
+/// \brief Reorders asynchronous responses back into submission order.
+///
+/// Assign each request a dense sequence number via NextSequence(); workers
+/// complete out of order; Write flushes the longest contiguous prefix to
+/// `sink`, so downstream output is deterministic at any worker count.
+class OrderedResponseWriter {
+ public:
+  /// \param sink receives each response line exactly once, in sequence
+  /// order, possibly from different threads but never concurrently.
+  explicit OrderedResponseWriter(std::function<void(const std::string&)> sink)
+      : sink_(std::move(sink)) {}
+
+  uint64_t NextSequence();
+  void Write(uint64_t sequence, std::string line);
+
+ private:
+  std::mutex mu_;
+  std::function<void(const std::string&)> sink_;
+  uint64_t next_assign_ = 0;
+  uint64_t next_flush_ = 0;
+  std::map<uint64_t, std::string> pending_;
+};
+
+}  // namespace uctr::serve
+
+#endif  // UCTR_SERVE_SERVER_H_

@@ -3,6 +3,7 @@
 #include <map>
 #include <set>
 
+#include "common/json.h"
 #include "common/numeric.h"
 #include "common/result.h"
 #include "common/rng.h"
@@ -245,6 +246,56 @@ TEST(RngTest, GaussianRoughlyStandard) {
   }
   EXPECT_NEAR(sum / n, 0.0, 0.05);
   EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+
+// ------------------------------------------------------------------ JSON
+
+TEST(JsonTest, ParsesScalarsObjectsAndArrays) {
+  json::Value v =
+      json::Parse(R"({"name":"t1","n":3.5,"rows":[1,2],"meta":{"k":"v"}})")
+          .ValueOrDie();
+  ASSERT_TRUE(v.is_object());
+  const json::Value::Object& obj = v.as_object();
+  EXPECT_EQ(json::GetStringOr(obj, "name", ""), "t1");
+  EXPECT_DOUBLE_EQ(json::GetNumberOr(obj, "n", 0.0), 3.5);
+  EXPECT_EQ(json::GetNumberOr(obj, "missing", -1.0), -1.0);
+  auto rows = obj.find("rows");
+  ASSERT_NE(rows, obj.end());
+  ASSERT_TRUE(rows->second.is_array());
+  EXPECT_EQ(rows->second.as_array().size(), 2u);
+}
+
+TEST(JsonTest, ParsesEscapesAndUnicode) {
+  json::Value v =
+      json::Parse(R"({"s":"a\"b\n\u0041"})").ValueOrDie();
+  EXPECT_EQ(json::GetStringOr(v.as_object(), "s", ""), "a\"b\nA");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(json::Parse("").ok());
+  EXPECT_FALSE(json::Parse("{").ok());
+  EXPECT_FALSE(json::Parse("{\"a\":}").ok());
+  EXPECT_FALSE(json::Parse("[1,2,]").ok());
+  EXPECT_FALSE(json::Parse("{} trailing").ok());
+  // The wire format is a deliberate subset: strings, numbers, objects,
+  // arrays. Bare literals are rejected rather than mis-parsed.
+  EXPECT_FALSE(json::Parse("{\"a\":true}").ok());
+  EXPECT_FALSE(json::Parse("null").ok());
+  // Nesting beyond the depth limit is an error, not a stack overflow.
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(json::Parse(deep).ok());
+}
+
+TEST(JsonTest, QuoteEscapesControlCharacters) {
+  EXPECT_EQ(json::Quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json::Quote("line\nbreak"), "\"line\\nbreak\"");
+  // Round trip: Quote then Parse restores the original string.
+  json::Value v = json::Parse("{" + json::Quote("k") + ":" +
+                              json::Quote("v\t\x01z") + "}")
+                      .ValueOrDie();
+  EXPECT_EQ(json::GetStringOr(v.as_object(), "k", ""), "v\t\x01z");
 }
 
 }  // namespace

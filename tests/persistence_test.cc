@@ -77,6 +77,76 @@ TEST(PersistenceTest, LoadRejectsGarbage) {
                    .ok());  // in range? 99 >= 2*16 -> out of range
 }
 
+// Every corruption mode of the hardened loader: the result is an error
+// Status, never a crash and never a partially initialized model.
+TEST(PersistenceTest, LoadRejectsCorruptAndTruncatedFiles) {
+  Rng rng(13);
+  LinearModel model(2, 16);
+  model.Train(ToyExamples(&rng, 40), TrainConfig{}, &rng);
+  std::string saved = model.SaveToString();
+
+  // Truncation anywhere: drop the last line, or cut mid-file.
+  std::string truncated = saved.substr(0, saved.rfind('\n', saved.size() - 2));
+  EXPECT_FALSE(LinearModel::LoadFromString(truncated).ok());
+  EXPECT_FALSE(LinearModel::LoadFromString(saved.substr(0, 40)).ok());
+
+  // Trailing garbage / two files concatenated.
+  EXPECT_FALSE(LinearModel::LoadFromString(saved + "extra\n").ok());
+  EXPECT_FALSE(LinearModel::LoadFromString(saved + saved).ok());
+  // Trailing blank lines are fine (editors add them).
+  EXPECT_TRUE(LinearModel::LoadFromString(saved + "\n\n").ok());
+
+  // Non-finite or malformed weight values.
+  const char* kPrefix = "uctr_linear_model v1\n2 16\n";
+  auto bad = [&](const std::string& body) {
+    return LinearModel::LoadFromString(kPrefix + body).ok();
+  };
+  EXPECT_FALSE(bad("1\n3 nan\n0\n"));
+  EXPECT_FALSE(bad("1\n3 inf\n0\n"));
+  EXPECT_FALSE(bad("1\n3 1e999\n0\n"));
+  EXPECT_FALSE(bad("1\n3 0.5x\n0\n"));
+  EXPECT_FALSE(bad("1\n3.5 0.5\n0\n"));      // fractional index
+  EXPECT_FALSE(bad("1\n-3 0.5\n0\n"));       // negative index
+  EXPECT_FALSE(bad("2\n5 0.5\n2 0.5\n0\n")); // non-ascending indices
+  EXPECT_FALSE(bad("2\n5 0.5\n5 0.5\n0\n")); // duplicate index
+  EXPECT_FALSE(bad("99\n3 0.5\n0\n"));       // count exceeds matrix size
+  EXPECT_FALSE(bad("1\n3 0.5\n1\n7 -0.5\n"));  // negative AdaGrad state
+  EXPECT_TRUE(bad("1\n3 0.5\n1\n7 0.5\n"));    // well-formed control
+  // Absurd dimensions are rejected before any allocation.
+  EXPECT_FALSE(
+      LinearModel::LoadFromString(
+          "uctr_linear_model v1\n2 99999999999999\n0\n0\n")
+          .ok());
+}
+
+TEST(PersistenceTest, FailedLoadLeavesModelUntouched) {
+  Rng rng(17);
+  TemplateLibrary lib = TemplateLibrary::Builtin();
+  GenerationConfig config;
+  config.task = TaskType::kFactVerification;
+  config.program_types = {ProgramType::kLogicalForm};
+  config.samples_per_table = 20;
+  Generator gen(config, &lib, &rng);
+  TableWithText input;
+  input.table = MakeNationsTable();
+  Dataset data;
+  data.samples = gen.GenerateFromTable(input);
+
+  VerifierConfig verifier_config;
+  VerifierModel model(verifier_config, BuiltinLogicTemplates());
+  model.Train(data, &rng);
+  std::vector<Label> before;
+  for (const Sample& s : data.samples) before.push_back(model.Predict(s));
+
+  // A corrupt load fails cleanly and the trained weights still serve.
+  std::string saved = model.SaveWeights();
+  ASSERT_FALSE(model.LoadWeights(saved.substr(0, saved.size() / 2)).ok());
+  ASSERT_FALSE(model.LoadWeights("garbage").ok());
+  for (size_t i = 0; i < data.samples.size(); ++i) {
+    EXPECT_EQ(model.Predict(data.samples[i]), before[i]);
+  }
+}
+
 TEST(PersistenceTest, VerifierWeightsRoundTrip) {
   Rng rng(7);
   TemplateLibrary lib = TemplateLibrary::Builtin();
