@@ -4,6 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "arith/executor.h"
 #include "arith/parser.h"
 #include "gen/generator.h"
@@ -68,6 +72,105 @@ void BM_LogicExecute(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_LogicExecute)->Arg(16)->Arg(256);
+
+// ---------------------------------------------------------------------------
+// Indexed vs. scan execution (table/index.h). Each pair runs the same query
+// through sql::Execute / logic::Execute with use_index on and off; the
+// indexed table is warmed once before the loop, matching the serving regime
+// where the index is built at table load and amortized over many programs.
+
+void RunSqlBench(benchmark::State& state, const char* query, bool indexed) {
+  Table t = BenchTable(static_cast<size_t>(state.range(0)));
+  auto stmt = sql::Parse(query).ValueOrDie();
+  sql::ExecOptions opts;
+  opts.use_index = indexed;
+  if (indexed) t.WarmIndex();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::Execute(stmt, t, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+constexpr const char* kSqlEqQuery =
+    "SELECT total FROM w WHERE nation = 'nation7'";
+
+void BM_SqlEqPredicateScan(benchmark::State& state) {
+  RunSqlBench(state, kSqlEqQuery, /*indexed=*/false);
+}
+BENCHMARK(BM_SqlEqPredicateScan)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_SqlEqPredicateIndexed(benchmark::State& state) {
+  RunSqlBench(state, kSqlEqQuery, /*indexed=*/true);
+}
+BENCHMARK(BM_SqlEqPredicateIndexed)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+constexpr const char* kSqlAggQuery =
+    "SELECT SUM(total) FROM w WHERE gold > 5";
+
+void BM_SqlNumericAggScan(benchmark::State& state) {
+  RunSqlBench(state, kSqlAggQuery, /*indexed=*/false);
+}
+BENCHMARK(BM_SqlNumericAggScan)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_SqlNumericAggIndexed(benchmark::State& state) {
+  RunSqlBench(state, kSqlAggQuery, /*indexed=*/true);
+}
+BENCHMARK(BM_SqlNumericAggIndexed)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void RunLogicBench(benchmark::State& state, const char* form, bool indexed) {
+  Table t = BenchTable(static_cast<size_t>(state.range(0)));
+  auto node = logic::Parse(form).ValueOrDie();
+  logic::ExecOptions opts;
+  opts.use_index = indexed;
+  if (indexed) t.WarmIndex();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(logic::Execute(*node, t, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+constexpr const char* kLogicSuperlative =
+    "hop { argmax { all_rows ; total } ; nation }";
+
+void BM_LogicSuperlativeScan(benchmark::State& state) {
+  RunLogicBench(state, kLogicSuperlative, /*indexed=*/false);
+}
+BENCHMARK(BM_LogicSuperlativeScan)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_LogicSuperlativeIndexed(benchmark::State& state) {
+  RunLogicBench(state, kLogicSuperlative, /*indexed=*/true);
+}
+BENCHMARK(BM_LogicSuperlativeIndexed)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000);
+
+constexpr const char* kLogicFilterEq =
+    "hop { filter_eq { all_rows ; nation ; nation7 } ; total }";
+
+void BM_LogicFilterEqScan(benchmark::State& state) {
+  RunLogicBench(state, kLogicFilterEq, /*indexed=*/false);
+}
+BENCHMARK(BM_LogicFilterEqScan)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_LogicFilterEqIndexed(benchmark::State& state) {
+  RunLogicBench(state, kLogicFilterEq, /*indexed=*/true);
+}
+BENCHMARK(BM_LogicFilterEqIndexed)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_IndexBuild(benchmark::State& state) {
+  Table t = BenchTable(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Table fresh = t;  // copies never share the cached index
+    state.ResumeTiming();
+    fresh.WarmIndex();
+    benchmark::DoNotOptimize(fresh);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IndexBuild)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
 
 void BM_ArithExecute(benchmark::State& state) {
   Table t = BenchTable(64);
@@ -175,4 +278,28 @@ BENCHMARK(BM_GenerateParallel)->Arg(1)->Arg(4)->UseRealTime();
 }  // namespace
 }  // namespace uctr
 
-BENCHMARK_MAIN();
+// Custom main so ctest can run the suite as a fast smoke test:
+// `bench_micro_components --smoke` caps every benchmark's measuring time
+// (google-benchmark 1.7: --benchmark_min_time takes plain seconds), turning
+// the full suite into a sub-second crash/regression canary.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  std::string min_time = "--benchmark_min_time=0.001";
+  if (smoke) args.push_back(min_time.data());
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,25 +1,50 @@
 #!/usr/bin/env bash
-# Sanitizer check: configure, build, and run the test suite under
-# AddressSanitizer + UndefinedBehaviorSanitizer (the UCTR_SANITIZE CMake
-# option). Catches memory errors and UB that the normal Release build
-# hides — run it before merging changes to the concurrent serving path.
+# Sanitizer check: configure, build, and run the test suite under a
+# sanitizer (the UCTR_SANITIZE CMake option). Catches memory errors, UB,
+# and data races that the normal Release build hides — run it before
+# merging changes to the concurrent serving path or the lazily built
+# table index.
 #
 # Usage:
-#   scripts/check.sh                 # full suite
-#   scripts/check.sh serve_test      # one test binary (ctest -R pattern
-#                                    # matches gtest-discovered names)
+#   scripts/check.sh                        # ASan+UBSan, full suite
+#   scripts/check.sh serve_test             # one test binary (ctest -R
+#                                           # matches gtest names)
+#   UCTR_SANITIZE=thread scripts/check.sh   # TSan, full suite
+#   UCTR_SANITIZE=thread scripts/check.sh index_test serve_test
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${BUILD_DIR:-build-asan}"
+
+# address (default) -> ASan+UBSan in build-asan; thread -> TSan in
+# build-tsan. The two modes use separate build trees so switching between
+# them never triggers a full recompile.
+SANITIZE="${UCTR_SANITIZE:-address}"
+case "$SANITIZE" in
+  address|ON|on)
+    SANITIZE=address
+    DEFAULT_BUILD_DIR=build-asan
+    ;;
+  thread)
+    DEFAULT_BUILD_DIR=build-tsan
+    ;;
+  *)
+    echo "unknown UCTR_SANITIZE mode '$SANITIZE' (address|thread)" >&2
+    exit 2
+    ;;
+esac
+BUILD_DIR="${BUILD_DIR:-$DEFAULT_BUILD_DIR}"
 JOBS="${JOBS:-$(nproc)}"
 
-cmake -B "$BUILD_DIR" -S . -DUCTR_SANITIZE=ON \
+cmake -B "$BUILD_DIR" -S . -DUCTR_SANITIZE="$SANITIZE" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
-export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
-export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+if [[ "$SANITIZE" == thread ]]; then
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+else
+  export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+fi
 
 cd "$BUILD_DIR"
 if [[ $# -gt 0 ]]; then
@@ -31,4 +56,4 @@ if [[ $# -gt 0 ]]; then
 else
   ctest --output-on-failure -j "$JOBS"
 fi
-echo "sanitizer check passed"
+echo "sanitizer ($SANITIZE) check passed"

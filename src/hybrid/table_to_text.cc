@@ -2,15 +2,19 @@
 
 #include "common/string_util.h"
 #include "nlgen/realize_util.h"
+#include "table/index.h"
 
 namespace uctr::hybrid {
 
 bool SentenceCoversRow(const Table& table, size_t row,
                        const std::string& sentence) {
+  // Cached display strings: ApplyToEvidence probes many candidate rows of
+  // the same table, so cells render once instead of once per probe.
+  const TableIndex& index = table.index();
   for (size_t c = 0; c < table.num_columns(); ++c) {
-    const Value& v = table.cell(row, c);
-    if (v.is_null()) continue;
-    if (!ContainsIgnoreCase(sentence, v.ToDisplayString())) return false;
+    const TableIndex::Column& cache = index.column(c);
+    if (cache.is_null[row]) continue;
+    if (!ContainsIgnoreCase(sentence, cache.display[row])) return false;
   }
   return true;
 }

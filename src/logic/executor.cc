@@ -8,6 +8,7 @@
 #include "common/numeric.h"
 #include "common/string_util.h"
 #include "logic/parser.h"
+#include "table/index.h"
 
 namespace uctr::logic {
 
@@ -36,9 +37,13 @@ struct LogicValue {
 };
 
 /// Evaluator holding the table and the accumulated evidence rows.
+/// When `index` is non-null, row selection, superlatives, and aggregates
+/// read through the cached per-column accelerators; results are
+/// bit-identical to the scan (see table/index.h).
 class Evaluator {
  public:
-  explicit Evaluator(const Table& table) : table_(table) {}
+  explicit Evaluator(const Table& table, const TableIndex* index = nullptr)
+      : table_(table), index_(index) {}
 
   Result<LogicValue> Eval(const Node& node) {
     if (node.is_literal) {
@@ -130,6 +135,59 @@ class Evaluator {
     return false;
   }
 
+  /// CellMatches over cached column data (no per-call parsing).
+  static bool CellMatchesIndexed(const TableIndex::Column& col, size_t r,
+                                 CmpKind cmp,
+                                 const TableIndex::LiteralKey& ref) {
+    if (col.is_null[r]) return false;
+    switch (cmp) {
+      case CmpKind::kEq:
+        return TableIndex::CellEquals(col, r, ref);
+      case CmpKind::kNotEq:
+        return !TableIndex::CellEquals(col, r, ref);
+      case CmpKind::kGreater:
+        return TableIndex::CellCompare(col, r, ref) > 0;
+      case CmpKind::kLess:
+        return TableIndex::CellCompare(col, r, ref) < 0;
+      case CmpKind::kGreaterEq:
+        return TableIndex::CellCompare(col, r, ref) >= 0;
+      case CmpKind::kLessEq:
+        return TableIndex::CellCompare(col, r, ref) <= 0;
+    }
+    return false;
+  }
+
+  /// Rows of `view` matching `cmp ref` on column `col_idx`, in view order.
+  /// The equality + string-literal case probes the hash index and keeps
+  /// view order through a membership mask.
+  std::vector<size_t> MatchingRows(const std::vector<size_t>& view,
+                                   size_t col_idx, CmpKind cmp,
+                                   const Value& ref) const {
+    std::vector<size_t> out;
+    if (index_ == nullptr) {
+      for (size_t r : view) {
+        if (CellMatches(table_.cell(r, col_idx), cmp, ref)) out.push_back(r);
+      }
+      return out;
+    }
+    const TableIndex::Column& col = index_->column(col_idx);
+    TableIndex::LiteralKey key(ref);
+    if (cmp == CmpKind::kEq && !key.null && !key.numeric) {
+      auto hit = col.by_text.find(key.norm);
+      if (hit == col.by_text.end()) return out;
+      std::vector<uint8_t> member(table_.num_rows(), 0);
+      for (size_t r : hit->second) member[r] = 1;
+      for (size_t r : view) {
+        if (member[r]) out.push_back(r);
+      }
+      return out;
+    }
+    for (size_t r : view) {
+      if (CellMatchesIndexed(col, r, cmp, key)) out.push_back(r);
+    }
+    return out;
+  }
+
   // --- operator families --------------------------------------------------
 
   Result<LogicValue> ApplyFilter(const Node& node, CmpKind cmp) {
@@ -137,11 +195,7 @@ class Evaluator {
     UCTR_ASSIGN_OR_RETURN(std::vector<size_t> view, EvalView(*node.args[0]));
     UCTR_ASSIGN_OR_RETURN(size_t col, Column(*node.args[1]));
     UCTR_ASSIGN_OR_RETURN(Value ref, EvalScalar(*node.args[2]));
-    std::vector<size_t> out;
-    for (size_t r : view) {
-      if (CellMatches(table_.cell(r, col), cmp, ref)) out.push_back(r);
-    }
-    return LogicValue::View(std::move(out));
+    return LogicValue::View(MatchingRows(view, col, cmp, ref));
   }
 
   Result<LogicValue> ApplyMajority(const Node& node, CmpKind cmp,
@@ -152,10 +206,7 @@ class Evaluator {
     UCTR_ASSIGN_OR_RETURN(Value ref, EvalScalar(*node.args[2]));
     if (view.empty()) return Status::EmptyResult("majority over empty view");
     MarkEvidence(view);
-    size_t hits = 0;
-    for (size_t r : view) {
-      if (CellMatches(table_.cell(r, col), cmp, ref)) ++hits;
-    }
+    size_t hits = MatchingRows(view, col, cmp, ref).size();
     bool verdict = require_all ? (hits == view.size())
                                : (hits * 2 > view.size());
     return LogicValue::Scalar(Value::Bool(verdict));
@@ -164,6 +215,7 @@ class Evaluator {
   /// Rows of `view` ordered by column value; ties keep original order.
   Result<std::vector<size_t>> OrderedRows(const std::vector<size_t>& view,
                                           size_t col, bool descending) {
+    if (index_ != nullptr) return OrderedRowsIndexed(view, col, descending);
     std::vector<size_t> rows;
     for (size_t r : view) {
       if (!table_.cell(r, col).is_null()) rows.push_back(r);
@@ -173,6 +225,51 @@ class Evaluator {
       int cmp = table_.cell(a, col).Compare(table_.cell(b, col));
       return descending ? cmp > 0 : cmp < 0;
     });
+    return rows;
+  }
+
+  /// OrderedRows through the index. A full view (the common `all_rows`
+  /// superlative) reuses the cached sorted permutation outright; subset
+  /// views stable-sort with cached comparison keys. Descending order is
+  /// derived from the ascending permutation by reversing tie groups, which
+  /// preserves original row order within ties exactly like a stable
+  /// descending sort.
+  Result<std::vector<size_t>> OrderedRowsIndexed(
+      const std::vector<size_t>& view, size_t col_idx, bool descending) {
+    const TableIndex::Column& col = index_->column(col_idx);
+    std::vector<size_t> rows;
+    if (view.size() == table_.num_rows()) {
+      // Views are duplicate-free subsets in ascending row order, so a
+      // full-size view is exactly 0..n-1: the cached permutation applies.
+      rows.reserve(col.non_null_count);
+      for (size_t r : col.sorted) {
+        if (!col.is_null[r]) rows.push_back(r);
+      }
+    } else {
+      for (size_t r : view) {
+        if (!col.is_null[r]) rows.push_back(r);
+      }
+      std::stable_sort(rows.begin(), rows.end(), [&col](size_t a, size_t b) {
+        return TableIndex::CompareRows(col, a, b) < 0;
+      });
+    }
+    if (rows.empty()) return Status::EmptyResult("superlative on empty view");
+    if (descending) {
+      std::vector<size_t> desc;
+      desc.reserve(rows.size());
+      size_t end = rows.size();
+      while (end > 0) {
+        size_t begin = end - 1;
+        while (begin > 0 &&
+               TableIndex::CompareRows(col, rows[begin - 1], rows[begin]) ==
+                   0) {
+          --begin;
+        }
+        for (size_t k = begin; k < end; ++k) desc.push_back(rows[k]);
+        end = begin;
+      }
+      rows = std::move(desc);
+    }
     return rows;
   }
 
@@ -214,12 +311,27 @@ class Evaluator {
     MarkEvidence(view);
     double sum = 0;
     size_t n = 0;
-    for (size_t r : view) {
-      const Value& v = table_.cell(r, col);
-      if (v.is_null()) continue;
-      UCTR_ASSIGN_OR_RETURN(double x, v.ToNumber());
-      sum += x;
-      ++n;
+    if (index_ != nullptr) {
+      const TableIndex::Column& cache = index_->column(col);
+      for (size_t r : view) {
+        if (cache.is_null[r]) continue;
+        if (cache.numeric[r]) {
+          sum += cache.number[r];
+        } else {
+          // Non-numeric cell: surface the exact scan-path TypeError.
+          UCTR_ASSIGN_OR_RETURN(double x, table_.cell(r, col).ToNumber());
+          sum += x;
+        }
+        ++n;
+      }
+    } else {
+      for (size_t r : view) {
+        const Value& v = table_.cell(r, col);
+        if (v.is_null()) continue;
+        UCTR_ASSIGN_OR_RETURN(double x, v.ToNumber());
+        sum += x;
+        ++n;
+      }
     }
     if (n == 0) return Status::EmptyResult("aggregate over no values");
     if (node.name == "sum") return LogicValue::Scalar(Value::Number(sum));
@@ -237,8 +349,15 @@ class Evaluator {
                               EvalView(*node.args[0]));
         UCTR_ASSIGN_OR_RETURN(size_t col, Column(*node.args[1]));
         std::vector<size_t> out;
-        for (size_t r : view) {
-          if (!table_.cell(r, col).is_null()) out.push_back(r);
+        if (index_ != nullptr) {
+          const TableIndex::Column& cache = index_->column(col);
+          for (size_t r : view) {
+            if (!cache.is_null[r]) out.push_back(r);
+          }
+        } else {
+          for (size_t r : view) {
+            if (!table_.cell(r, col).is_null()) out.push_back(r);
+          }
         }
         return LogicValue::View(std::move(out));
       }
@@ -339,13 +458,15 @@ class Evaluator {
   }
 
   const Table& table_;
+  const TableIndex* index_;
   std::set<size_t> evidence_;
 };
 
 }  // namespace
 
-Result<ExecResult> Execute(const Node& node, const Table& table) {
-  Evaluator eval(table);
+Result<ExecResult> Execute(const Node& node, const Table& table,
+                           const ExecOptions& opts) {
+  Evaluator eval(table, opts.use_index ? &table.index() : nullptr);
   UCTR_ASSIGN_OR_RETURN(LogicValue out, eval.Eval(node));
   ExecResult result;
   if (out.is_view()) {
@@ -367,9 +488,10 @@ Result<ExecResult> Execute(const Node& node, const Table& table) {
 }
 
 Result<ExecResult> ExecuteLogicalForm(std::string_view text,
-                                      const Table& table) {
+                                      const Table& table,
+                                      const ExecOptions& opts) {
   UCTR_ASSIGN_OR_RETURN(std::unique_ptr<Node> node, Parse(text));
-  return Execute(*node, table);
+  return Execute(*node, table, opts);
 }
 
 bool IsKnownOperator(std::string_view op) {

@@ -23,11 +23,22 @@ namespace uctr::logic {
 /// The result of a complete fact-verification form is a Bool value;
 /// evidence_rows lists every row consumed while reducing views to scalars
 /// (the paper's highlighted cells).
-Result<ExecResult> Execute(const Node& node, const Table& table);
+///
+/// Like sql::Execute, execution defaults to reading through the table's
+/// lazily built TableIndex (pre-parsed numbers, equality hash index,
+/// cached sorted row order for superlatives); `opts.use_index = false`
+/// selects the reference row scan. Both are bit-identical.
+struct ExecOptions {
+  bool use_index = true;
+};
+
+Result<ExecResult> Execute(const Node& node, const Table& table,
+                           const ExecOptions& opts = ExecOptions());
 
 /// \brief Parses then executes.
 Result<ExecResult> ExecuteLogicalForm(std::string_view text,
-                                      const Table& table);
+                                      const Table& table,
+                                      const ExecOptions& opts = ExecOptions());
 
 /// \brief True if `op` is a known logical-form operator name.
 bool IsKnownOperator(std::string_view op);

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/string_util.h"
+#include "table/index.h"
 
 namespace uctr::model {
 
@@ -124,12 +125,14 @@ Result<std::map<std::string, std::string>> NlInterpreter::BindTemplate(
         if (it == column_of.end()) {
           return Status::Internal("value slot before its column slot");
         }
+        // Cached display strings: RankAll scores every template against
+        // the same table, so the per-cell rendering is paid once.
+        const TableIndex::Column& cache = table.index().column(it->second);
         double best = 0.0;
         std::string best_value;
         for (size_t r = 0; r < table.num_rows(); ++r) {
-          const Value& v = table.cell(r, it->second);
-          if (v.is_null()) continue;
-          std::string display = v.ToDisplayString();
+          if (cache.is_null[r]) continue;
+          const std::string& display = cache.display[r];
           if (used_values[p.column_id].count(display)) continue;
           double score = CoverageScore(display, token_set);
           if (score > best) {
@@ -146,12 +149,12 @@ Result<std::map<std::string, std::string>> NlInterpreter::BindTemplate(
         break;
       }
       case Placeholder::Kind::kRow: {
+        const TableIndex::Column& names = table.index().column(0);
         double best = 0.0;
         std::string best_name;
         for (size_t r = 0; r < table.num_rows(); ++r) {
-          const Value& v = table.cell(r, 0);
-          if (v.is_null()) continue;
-          std::string display = v.ToDisplayString();
+          if (names.is_null[r]) continue;
+          const std::string& display = names.display[r];
           if (used_values["__rows__"].count(display)) continue;
           double score = CoverageScore(display, token_set);
           if (score > best) {

@@ -9,6 +9,7 @@
 #include "logic/ast.h"
 #include "logic/executor.h"
 #include "logic/parser.h"
+#include "table/index.h"
 
 namespace uctr {
 
@@ -103,16 +104,19 @@ Result<std::map<std::string, std::string>> ProgramSampler::BindPlaceholders(
       case Placeholder::Kind::kColumn:
         break;
       case Placeholder::Kind::kRow: {
-        std::vector<std::string> names;
+        // Cached display strings: only the one chosen name is copied,
+        // instead of materializing every row name per sample.
+        const TableIndex::Column& names = table.index().column(0);
+        std::vector<size_t> candidates;
         for (size_t r = 0; r < table.num_rows(); ++r) {
-          std::string name = table.cell(r, 0).ToDisplayString();
-          if (!name.empty()) names.push_back(std::move(name));
+          if (!names.display[r].empty()) candidates.push_back(r);
         }
-        if (names.empty()) {
+        if (candidates.empty()) {
           return Status::NotFound("table has no usable row names");
         }
-        bindings[p.id] =
-            SanitizeForProgram(tmpl.type, names[rng_->Index(names.size())]);
+        bindings[p.id] = SanitizeForProgram(
+            tmpl.type,
+            names.display[candidates[rng_->Index(candidates.size())]]);
         break;
       }
       case Placeholder::Kind::kValue: {
@@ -120,17 +124,18 @@ Result<std::map<std::string, std::string>> ProgramSampler::BindPlaceholders(
         if (it == column_of.end()) {
           return Status::Internal("unbound column id '" + p.column_id + "'");
         }
-        std::vector<std::string> values;
+        const TableIndex::Column& cache = table.index().column(it->second);
+        std::vector<size_t> candidates;
         for (size_t r = 0; r < table.num_rows(); ++r) {
-          const Value& v = table.cell(r, it->second);
-          if (!v.is_null()) values.push_back(v.ToDisplayString());
+          if (!cache.is_null[r]) candidates.push_back(r);
         }
-        if (values.empty()) {
+        if (candidates.empty()) {
           return Status::NotFound("column has no non-null values for '" +
                                   p.id + "'");
         }
-        bindings[p.id] =
-            SanitizeForProgram(tmpl.type, values[rng_->Index(values.size())]);
+        bindings[p.id] = SanitizeForProgram(
+            tmpl.type,
+            cache.display[candidates[rng_->Index(candidates.size())]]);
         break;
       }
       case Placeholder::Kind::kOrdinal: {
@@ -222,15 +227,18 @@ Result<SampledProgram> ProgramSampler::SampleClaim(const ProgramTemplate& tmpl,
         if (col_binding != bindings.end()) {
           auto c = table.ColumnIndex(col_binding->second);
           if (c.ok()) {
-            std::vector<std::string> options;
+            const TableIndex::Column& cache =
+                table.index().column(c.ValueOrDie());
+            TableIndex::LiteralKey truth_key(truth);
+            std::vector<size_t> options;
             for (size_t r = 0; r < table.num_rows(); ++r) {
-              const Value& v = table.cell(r, c.ValueOrDie());
-              if (!v.is_null() && !v.Equals(truth)) {
-                options.push_back(v.ToDisplayString());
+              if (!cache.is_null[r] &&
+                  !TableIndex::CellEquals(cache, r, truth_key)) {
+                options.push_back(r);
               }
             }
             if (!options.empty()) {
-              distractor = options[rng_->Index(options.size())];
+              distractor = cache.display[options[rng_->Index(options.size())]];
             }
           }
         }

@@ -36,22 +36,22 @@ Result<InferenceEngine> InferenceEngine::Create(
 }
 
 std::string InferenceEngine::Verify(
-    const Table& table, const std::string& claim,
+    Table table, const std::string& claim,
     const std::vector<std::string>& paragraph) const {
   Sample sample;
   sample.task = TaskType::kFactVerification;
-  sample.table = table;
+  sample.table = std::move(table);  // keeps a warmed index
   sample.sentence = claim;
   sample.paragraph = paragraph;
   return LabelToString(verifier_.Predict(sample));
 }
 
 std::string InferenceEngine::Answer(
-    const Table& table, const std::string& question,
+    Table table, const std::string& question,
     const std::vector<std::string>& paragraph) const {
   Sample sample;
   sample.task = TaskType::kQuestionAnswering;
-  sample.table = table;
+  sample.table = std::move(table);  // keeps a warmed index
   sample.sentence = question;
   sample.paragraph = paragraph;
   return qa_.Predict(sample);

@@ -31,8 +31,15 @@ struct EngineConfig {
 /// FeatureExtractor, TextToTable, and LinearModel::Scores are all `const`
 /// methods over state written only during construction/LoadWeights, with
 /// no mutable members, caches, or globals — so concurrent calls are
-/// data-race-free by construction. Training (`Train`) is NOT part of the
-/// serving API and must never run concurrently with serving.
+/// data-race-free by construction. The one deliberate exception is the
+/// per-table TableIndex (table/index.h): executors build its column
+/// caches lazily behind std::call_once, so concurrent requests sharing a
+/// const Table stay race-free while amortizing cell parsing. Workers
+/// warm the index once at table load (Table::WarmIndex) and pass the
+/// table by value below, which MOVES the warmed index into the request's
+/// Sample instead of rebuilding it per template. Training (`Train`) is
+/// NOT part of the serving API and must never run concurrently with
+/// serving.
 class InferenceEngine {
  public:
   /// \brief Builds the engine and restores weights. Either weight string
@@ -44,13 +51,15 @@ class InferenceEngine {
                                         std::string_view qa_weights);
 
   /// \brief Verdict for `claim` over `table` (+ optional paragraph
-  /// sentences): "Supported", "Refuted", or "Unknown".
-  std::string Verify(const Table& table, const std::string& claim,
+  /// sentences): "Supported", "Refuted", or "Unknown". Takes the table by
+  /// value: pass an rvalue to carry a warmed TableIndex into inference
+  /// (lvalues are copied and the copy's index builds lazily on first use).
+  std::string Verify(Table table, const std::string& claim,
                      const std::vector<std::string>& paragraph) const;
 
   /// \brief Answer display string for `question`; empty when the model
-  /// abstains.
-  std::string Answer(const Table& table, const std::string& question,
+  /// abstains. Same table-by-value contract as Verify.
+  std::string Answer(Table table, const std::string& question,
                      const std::vector<std::string>& paragraph) const;
 
   /// \brief The claim templates the serving verifier interprets with.

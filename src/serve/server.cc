@@ -148,9 +148,13 @@ void Server::SubmitLine(const std::string& line,
                                   "table: " + table.status().ToString()));
       return;
     }
-    std::string body = op == "verify"
-                           ? engine_->Verify(*table, query, paragraph)
-                           : engine_->Answer(*table, query, paragraph);
+    // Build the per-table index once at load; moving the table into the
+    // engine carries it through every template execution of the request.
+    table->WarmIndex();
+    std::string body =
+        op == "verify"
+            ? engine_->Verify(std::move(*table), query, paragraph)
+            : engine_->Answer(std::move(*table), query, paragraph);
     execute_us_->Observe(std::chrono::duration<double, std::micro>(
                              Scheduler::Clock::now() - started)
                              .count());

@@ -1,10 +1,13 @@
 #include "sql/executor.h"
 
 #include <algorithm>
-#include <set>
+#include <numeric>
+#include <string_view>
+#include <unordered_set>
 
 #include "common/numeric.h"
 #include "sql/parser.h"
+#include "table/index.h"
 
 namespace uctr::sql {
 
@@ -29,13 +32,68 @@ bool EvalCondition(const Condition& cond, const Value& cell) {
   return false;
 }
 
+/// EvalCondition over cached column data; cell nullness handled here, the
+/// rest mirrors Value::Equals/Compare exactly (see TableIndex contract).
+bool EvalConditionIndexed(const TableIndex::Column& col, size_t r, CmpOp op,
+                          const TableIndex::LiteralKey& lit) {
+  if (col.is_null[r]) return false;
+  switch (op) {
+    case CmpOp::kEq:
+      return TableIndex::CellEquals(col, r, lit);
+    case CmpOp::kNe:
+      return !TableIndex::CellEquals(col, r, lit);
+    case CmpOp::kLt:
+      return TableIndex::CellCompare(col, r, lit) < 0;
+    case CmpOp::kGt:
+      return TableIndex::CellCompare(col, r, lit) > 0;
+    case CmpOp::kLe:
+      return TableIndex::CellCompare(col, r, lit) <= 0;
+    case CmpOp::kGe:
+      return TableIndex::CellCompare(col, r, lit) >= 0;
+  }
+  return false;
+}
+
+/// WHERE evaluation through the index. Conditions are applied in order to
+/// a shrinking row set; an exhausted set stops early, matching the scan
+/// path (which never resolves a condition's column once no row reaches
+/// it). Equality against a non-numeric literal uses the hash index.
+Result<std::vector<size_t>> FilterIndexed(const std::vector<Condition>& where,
+                                          const Table& table,
+                                          const TableIndex& index) {
+  std::vector<size_t> rows(table.num_rows());
+  std::iota(rows.begin(), rows.end(), size_t{0});
+  for (const Condition& cond : where) {
+    if (rows.empty()) break;
+    UCTR_ASSIGN_OR_RETURN(size_t c, table.ColumnIndex(cond.column));
+    const TableIndex::Column& col = index.column(c);
+    TableIndex::LiteralKey lit(cond.literal);
+    std::vector<size_t> kept;
+    if (cond.op == CmpOp::kEq && !lit.null && !lit.numeric) {
+      auto hit = col.by_text.find(lit.norm);
+      if (hit != col.by_text.end()) {
+        // Both lists are ascending: intersect directly.
+        std::set_intersection(rows.begin(), rows.end(), hit->second.begin(),
+                              hit->second.end(), std::back_inserter(kept));
+      }
+    } else {
+      kept.reserve(rows.size());
+      for (size_t r : rows) {
+        if (EvalConditionIndexed(col, r, cond.op, lit)) kept.push_back(r);
+      }
+    }
+    rows = std::move(kept);
+  }
+  return rows;
+}
+
 Result<Value> EvalAggregate(const SelectItem& item, const Table& table,
                             const std::vector<size_t>& rows) {
   if (item.agg == AggFunc::kCount) {
     if (item.star) return Value::Number(static_cast<double>(rows.size()));
     UCTR_ASSIGN_OR_RETURN(size_t c, table.ColumnIndex(item.column));
     if (item.distinct) {
-      std::set<std::string> seen;
+      std::unordered_set<std::string> seen;
       for (size_t r : rows) {
         const Value& v = table.cell(r, c);
         if (!v.is_null()) seen.insert(v.ToDisplayString());
@@ -87,31 +145,115 @@ Result<Value> EvalAggregate(const SelectItem& item, const Table& table,
   }
 }
 
+/// EvalAggregate over the numeric column cache (SUM/AVG read pre-parsed
+/// doubles, MIN/MAX compare cached keys, COUNT DISTINCT hashes cached
+/// display strings without materializing copies).
+Result<Value> EvalAggregateIndexed(const SelectItem& item, const Table& table,
+                                   const TableIndex& index,
+                                   const std::vector<size_t>& rows) {
+  if (item.agg == AggFunc::kCount) {
+    if (item.star) return Value::Number(static_cast<double>(rows.size()));
+    UCTR_ASSIGN_OR_RETURN(size_t c, table.ColumnIndex(item.column));
+    const TableIndex::Column& col = index.column(c);
+    if (item.distinct) {
+      std::unordered_set<std::string_view> seen;
+      for (size_t r : rows) {
+        if (!col.is_null[r]) seen.insert(col.display[r]);
+      }
+      return Value::Number(static_cast<double>(seen.size()));
+    }
+    size_t count = 0;
+    for (size_t r : rows) {
+      if (!col.is_null[r]) ++count;
+    }
+    return Value::Number(static_cast<double>(count));
+  }
+
+  UCTR_ASSIGN_OR_RETURN(size_t c, table.ColumnIndex(item.column));
+  const TableIndex::Column& col = index.column(c);
+  if (item.agg == AggFunc::kSum || item.agg == AggFunc::kAvg) {
+    double sum = 0;
+    size_t n = 0;
+    for (size_t r : rows) {
+      if (col.is_null[r]) continue;
+      if (col.numeric[r]) {
+        sum += col.number[r];
+      } else {
+        // Non-numeric cell: surface the exact scan-path TypeError.
+        UCTR_ASSIGN_OR_RETURN(double x, table.cell(r, c).ToNumber());
+        sum += x;
+      }
+      ++n;
+    }
+    if (n == 0) {
+      return Status::EmptyResult(item.agg == AggFunc::kSum
+                                     ? "SUM over no rows"
+                                     : "AVG over no rows");
+    }
+    return Value::Number(item.agg == AggFunc::kSum
+                             ? sum
+                             : sum / static_cast<double>(n));
+  }
+
+  // MIN / MAX: linear pass with cached comparison keys; ties keep the
+  // earliest row, exactly like the scan.
+  bool first = true;
+  size_t best_row = 0;
+  for (size_t r : rows) {
+    if (col.is_null[r]) continue;
+    if (first) {
+      best_row = r;
+      first = false;
+    } else if (item.agg == AggFunc::kMin
+                   ? TableIndex::CompareRows(col, r, best_row) < 0
+                   : TableIndex::CompareRows(col, r, best_row) > 0) {
+      best_row = r;
+    }
+  }
+  if (first) return Status::EmptyResult("MIN/MAX over no rows");
+  return table.cell(best_row, c);
+}
+
 }  // namespace
 
-Result<ExecResult> Execute(const SelectStatement& stmt, const Table& table) {
+Result<ExecResult> Execute(const SelectStatement& stmt, const Table& table,
+                           const ExecOptions& opts) {
+  const TableIndex* index = opts.use_index ? &table.index() : nullptr;
+
   // 1. Filter.
   std::vector<size_t> rows;
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    bool keep = true;
-    for (const Condition& cond : stmt.where) {
-      UCTR_ASSIGN_OR_RETURN(size_t c, table.ColumnIndex(cond.column));
-      if (!EvalCondition(cond, table.cell(r, c))) {
-        keep = false;
-        break;
+  if (index) {
+    UCTR_ASSIGN_OR_RETURN(rows, FilterIndexed(stmt.where, table, *index));
+  } else {
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      bool keep = true;
+      for (const Condition& cond : stmt.where) {
+        UCTR_ASSIGN_OR_RETURN(size_t c, table.ColumnIndex(cond.column));
+        if (!EvalCondition(cond, table.cell(r, c))) {
+          keep = false;
+          break;
+        }
       }
+      if (keep) rows.push_back(r);
     }
-    if (keep) rows.push_back(r);
   }
 
   // 2. Order.
   if (stmt.order_by) {
     UCTR_ASSIGN_OR_RETURN(size_t c, table.ColumnIndex(stmt.order_by->column));
     bool desc = stmt.order_by->descending;
-    std::stable_sort(rows.begin(), rows.end(), [&](size_t a, size_t b) {
-      int cmp = table.cell(a, c).Compare(table.cell(b, c));
-      return desc ? cmp > 0 : cmp < 0;
-    });
+    if (index) {
+      const TableIndex::Column& col = index->column(c);
+      std::stable_sort(rows.begin(), rows.end(), [&](size_t a, size_t b) {
+        int cmp = TableIndex::CompareRows(col, a, b);
+        return desc ? cmp > 0 : cmp < 0;
+      });
+    } else {
+      std::stable_sort(rows.begin(), rows.end(), [&](size_t a, size_t b) {
+        int cmp = table.cell(a, c).Compare(table.cell(b, c));
+        return desc ? cmp > 0 : cmp < 0;
+      });
+    }
   }
 
   // 3. Limit.
@@ -134,8 +276,10 @@ Result<ExecResult> Execute(const SelectStatement& stmt, const Table& table) {
         return Status::InvalidArgument(
             "mixing aggregates and plain columns is not supported");
       }
-      UCTR_ASSIGN_OR_RETURN(Value v, EvalAggregate(item, table, rows));
-      result.values.push_back(std::move(v));
+      Result<Value> v = index ? EvalAggregateIndexed(item, table, *index, rows)
+                              : EvalAggregate(item, table, rows);
+      UCTR_RETURN_NOT_OK(v.status());
+      result.values.push_back(std::move(v).ValueOrDie());
     }
     // COUNT over an empty filter is a legitimate 0 answer, but evidence-free
     // results are useless for training samples; keep them (the generator
@@ -165,9 +309,10 @@ Result<ExecResult> Execute(const SelectStatement& stmt, const Table& table) {
   return result;
 }
 
-Result<ExecResult> ExecuteQuery(std::string_view query, const Table& table) {
+Result<ExecResult> ExecuteQuery(std::string_view query, const Table& table,
+                                const ExecOptions& opts) {
   UCTR_ASSIGN_OR_RETURN(SelectStatement stmt, Parse(query));
-  return Execute(stmt, table);
+  return Execute(stmt, table, opts);
 }
 
 }  // namespace uctr::sql

@@ -10,6 +10,18 @@
 
 namespace uctr::sql {
 
+/// \brief Execution knobs.
+struct ExecOptions {
+  /// When true (the default) execution reads through Table::index() — the
+  /// lazily built per-column numeric cache, equality hash index, and
+  /// cached comparison keys. When false it runs the reference row scan.
+  /// Both paths are bit-identical (values, evidence rows, tie-breaking,
+  /// EmptyResult/error behavior); tests/index_test.cc proves it
+  /// differentially. The scan exists as the executable specification and
+  /// for benchmarking the speedup.
+  bool use_index = true;
+};
+
 /// \brief Executes a parsed statement against a table (the paper's
 /// Program-Executor instantiated for SQL; replaces sqlite3).
 ///
@@ -17,10 +29,12 @@ namespace uctr::sql {
 /// rows (NULL never matches), ORDER BY sorts stably, LIMIT truncates,
 /// aggregates skip NULLs, COUNT(*) counts rows. Returns kEmptyResult when no
 /// value survives — the pipeline discards such programs per Section IV-C.
-Result<ExecResult> Execute(const SelectStatement& stmt, const Table& table);
+Result<ExecResult> Execute(const SelectStatement& stmt, const Table& table,
+                           const ExecOptions& opts = ExecOptions());
 
 /// \brief Parses and executes in one step.
-Result<ExecResult> ExecuteQuery(std::string_view query, const Table& table);
+Result<ExecResult> ExecuteQuery(std::string_view query, const Table& table,
+                                const ExecOptions& opts = ExecOptions());
 
 }  // namespace uctr::sql
 

@@ -3,8 +3,59 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "table/index.h"
 
 namespace uctr {
+
+Table::Table() = default;
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {}
+
+Table::Table(const Table& other)
+    : name_(other.name_), schema_(other.schema_), rows_(other.rows_) {}
+
+Table& Table::operator=(const Table& other) {
+  if (this == &other) return *this;
+  name_ = other.name_;
+  schema_ = other.schema_;
+  rows_ = other.rows_;
+  InvalidateIndex();
+  return *this;
+}
+
+Table::Table(Table&& other) noexcept
+    : name_(std::move(other.name_)),
+      schema_(std::move(other.schema_)),
+      rows_(std::move(other.rows_)),
+      index_(std::move(other.index_)) {
+  if (index_) index_->RebindTable(this);
+}
+
+Table& Table::operator=(Table&& other) noexcept {
+  if (this == &other) return *this;
+  name_ = std::move(other.name_);
+  schema_ = std::move(other.schema_);
+  rows_ = std::move(other.rows_);
+  index_ = std::move(other.index_);
+  if (index_) index_->RebindTable(this);
+  return *this;
+}
+
+Table::~Table() = default;
+
+const TableIndex& Table::index() const {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  if (!index_) index_ = std::make_unique<TableIndex>(this);
+  return *index_;
+}
+
+void Table::WarmIndex() const { index().Warm(); }
+
+void Table::InvalidateIndex() {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  index_.reset();
+}
 
 const char* ColumnTypeToString(ColumnType type) {
   switch (type) {
@@ -145,16 +196,21 @@ std::vector<Value> Table::ColumnValues(size_t c) const {
 
 Result<size_t> Table::RowIndexByName(std::string_view row_name) const {
   if (num_columns() == 0) return Status::NotFound("table has no columns");
+  // Row names live in the first column; read them from the index cache so
+  // repeated lookups (arithmetic programs resolve one per operand) never
+  // re-materialize ToDisplayString() per row. Semantics are unchanged:
+  // norm[r] == ToLower(Trim(display)) makes the first loop exactly the old
+  // EqualsIgnoreCase(Trim(display), wanted) test.
+  const TableIndex::Column& names = index().column(0);
   std::string wanted = Trim(row_name);
+  std::string wanted_norm = ToLower(wanted);
   for (size_t r = 0; r < rows_.size(); ++r) {
-    if (EqualsIgnoreCase(Trim(rows_[r][0].ToDisplayString()), wanted)) {
-      return r;
-    }
+    if (names.norm[r] == wanted_norm) return r;
   }
   size_t found = rows_.size();
   int hits = 0;
   for (size_t r = 0; r < rows_.size(); ++r) {
-    std::string display = rows_[r][0].ToDisplayString();
+    const std::string& display = names.display[r];
     if (!display.empty() && (ContainsIgnoreCase(display, wanted) ||
                              ContainsIgnoreCase(wanted, display))) {
       found = r;
@@ -179,6 +235,7 @@ Status Table::AppendRow(Row row) {
         std::to_string(num_columns()));
   }
   rows_.push_back(std::move(row));
+  InvalidateIndex();
   return Status::OK();
 }
 
@@ -195,6 +252,7 @@ Status Table::AppendColumn(const std::string& name, const Value& fill) {
   schema_.AddColumn({trimmed, ColumnType::kText});
   for (Row& row : rows_) row.push_back(fill);
   InferColumnTypes();
+  InvalidateIndex();
   return Status::OK();
 }
 

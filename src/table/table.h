@@ -1,6 +1,8 @@
 #ifndef UCTR_TABLE_TABLE_H_
 #define UCTR_TABLE_TABLE_H_
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -10,6 +12,25 @@
 #include "table/value.h"
 
 namespace uctr {
+
+class Table;
+class TableIndex;
+
+/// \brief Lightweight non-owning view of one column's cells in row order.
+/// Replaces Table::ColumnValues() copies on hot paths: no Value copies are
+/// made, cells are read in place. Invalidated by any table mutation.
+class ColumnSpan {
+ public:
+  ColumnSpan(const Table* table, size_t column)
+      : table_(table), column_(column) {}
+
+  size_t size() const;
+  const Value& operator[](size_t r) const;
+
+ private:
+  const Table* table_;
+  size_t column_;
+};
 
 /// \brief Declared type of a column, inferred from its cells.
 enum class ColumnType {
@@ -55,9 +76,17 @@ class Table {
  public:
   using Row = std::vector<Value>;
 
-  Table() = default;
-  Table(std::string name, Schema schema)
-      : name_(std::move(name)), schema_(std::move(schema)) {}
+  Table();
+  Table(std::string name, Schema schema);
+
+  // Copies do not clone the cached index (it is rebuilt lazily on demand);
+  // moves carry it along, so a warmed index survives being moved into a
+  // Sample or a serving request.
+  Table(const Table& other);
+  Table& operator=(const Table& other);
+  Table(Table&& other) noexcept;
+  Table& operator=(Table&& other) noexcept;
+  ~Table();
 
   /// \brief Parses CSV text (first line = header) and infers column types.
   /// Handles quoted fields with embedded commas/quotes.
@@ -79,14 +108,34 @@ class Table {
 
   const Row& row(size_t r) const { return rows_[r]; }
   const Value& cell(size_t r, size_t c) const { return rows_[r][c]; }
-  Value* mutable_cell(size_t r, size_t c) { return &rows_[r][c]; }
+  /// \brief Mutable cell access. Invalidates the cached index: the caller
+  /// may write through the pointer, so any cached view of the cell is
+  /// stale. Do not hold the pointer across other Table calls.
+  Value* mutable_cell(size_t r, size_t c) {
+    InvalidateIndex();
+    return &rows_[r][c];
+  }
 
   Result<size_t> ColumnIndex(std::string_view name) const {
     return schema_.ColumnIndex(name);
   }
 
-  /// \brief All values of one column, in row order.
+  /// \brief All values of one column, in row order. Materializes a fresh
+  /// vector of Value copies per call — prefer Column() on hot paths.
   std::vector<Value> ColumnValues(size_t c) const;
+
+  /// \brief Copy-free view of one column (see ColumnSpan).
+  ColumnSpan Column(size_t c) const { return ColumnSpan(this, c); }
+
+  /// \brief Lazily built per-column accelerators (numeric cache, equality
+  /// hash index, sorted row order) shared by every executor; see
+  /// table/index.h for the exact caching and thread-safety contract.
+  /// Thread-safe on const tables; invalidated by any mutation.
+  const TableIndex& index() const;
+
+  /// \brief Eagerly builds every column cache of index(). Serving calls
+  /// this once at table load so request execution never pays the build.
+  void WarmIndex() const;
 
   /// \brief Cell addressed by row name (matched against the first column,
   /// case-insensitive substring fallback) and column header.
@@ -127,10 +176,24 @@ class Table {
   std::string Linearize(size_t max_rows = 64) const;
 
  private:
+  /// Drops the cached index; called by every mutator.
+  void InvalidateIndex();
+
   std::string name_;
   Schema schema_;
   std::vector<Row> rows_;
+
+  // Lazily created accelerators (table/index.h). The mutex only guards
+  // creation/invalidation of the pointer; TableIndex synchronizes its own
+  // per-column builds, so concurrent const readers are race-free.
+  mutable std::mutex index_mu_;
+  mutable std::unique_ptr<TableIndex> index_;
 };
+
+inline size_t ColumnSpan::size() const { return table_->num_rows(); }
+inline const Value& ColumnSpan::operator[](size_t r) const {
+  return table_->cell(r, column_);
+}
 
 }  // namespace uctr
 

@@ -1,0 +1,405 @@
+// Differential tests for the lazily built per-table index (table/index.h).
+//
+// The TableIndex contract is bit-identical execution: for every program the
+// indexed path (ExecOptions::use_index = true, the default) must produce
+// exactly the same outcome as the reference scan path — same status code
+// and message on errors, same values (type and display text), the same
+// evidence rows, and the same tie-breaking row order. These tests execute
+// fixture query suites and randomized tables through both paths and compare
+// the outcomes field by field, including after mutations invalidate the
+// cached index and under concurrent first-touch builds.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "logic/executor.h"
+#include "sql/executor.h"
+#include "table/index.h"
+#include "table/table.h"
+
+namespace uctr {
+namespace {
+
+// The medal fixture used across the executor test suites: text rows with
+// duplicate values (tie-breaking), a numeric tie in `total`, and a null.
+Table MedalTable() {
+  return Table::FromCsv(
+             "nation,gold,silver,bronze,total\n"
+             "Norway,16,8,13,37\n"
+             "Germany,12,10,5,27\n"
+             "Canada,4,8,14,26\n"
+             "USA,8,10,9,27\n"
+             "Sweden,8,5,5,18\n"
+             "Austria,4,8,5,17\n"
+             "Italy,2,7,,9\n")
+      .ValueOrDie();
+}
+
+// Currency/percent formatting plus nulls: ToNumber parses "$1,234" and
+// "12%", so the numeric cache must agree with per-cell parsing exactly.
+Table FinanceTable() {
+  return Table::FromCsv(
+             "item,fy2019,fy2020,growth\n"
+             "revenue,\"$1,234\",\"$2,468\",100%\n"
+             "cost,\"$800\",\"$900\",12.5%\n"
+             "margin,\"$434\",\"$1,568\",-\n"
+             "headcount,25,31,24%\n")
+      .ValueOrDie();
+}
+
+std::string DescribeOutcome(const Result<ExecResult>& r) {
+  if (!r.ok()) {
+    return "status{" + r.status().ToString() + "}";
+  }
+  std::string out = "ok{values=[";
+  for (size_t i = 0; i < r->values.size(); ++i) {
+    if (i > 0) out += "|";
+    const Value& v = r->values[i];
+    out += std::string(ValueTypeToString(v.type())) + ":" +
+           v.ToDisplayString();
+  }
+  out += "] evidence=[";
+  for (size_t i = 0; i < r->evidence_rows.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(r->evidence_rows[i]);
+  }
+  return out + "]}";
+}
+
+// Executes `query` through the indexed and the scan path and requires the
+// outcomes to match field for field. Each call uses a fresh copy of the
+// table for the scan so the indexed run can never warm state the scan
+// reads (copies deliberately do not share the cached index).
+void ExpectSqlIdentical(const Table& table, const std::string& query) {
+  Table scan_copy = table;
+  auto indexed = sql::ExecuteQuery(query, table, {.use_index = true});
+  auto scanned = sql::ExecuteQuery(query, scan_copy, {.use_index = false});
+  EXPECT_EQ(DescribeOutcome(indexed), DescribeOutcome(scanned))
+      << "sql query diverged: " << query;
+}
+
+void ExpectLogicIdentical(const Table& table, const std::string& form) {
+  Table scan_copy = table;
+  auto indexed =
+      logic::ExecuteLogicalForm(form, table, {.use_index = true});
+  auto scanned =
+      logic::ExecuteLogicalForm(form, scan_copy, {.use_index = false});
+  EXPECT_EQ(DescribeOutcome(indexed), DescribeOutcome(scanned))
+      << "logical form diverged: " << form;
+}
+
+const std::vector<std::string>& SqlQuerySuite() {
+  static const std::vector<std::string> kQueries = {
+      // Equality predicates: hash-index path (text) and numeric path.
+      "SELECT total FROM w WHERE nation = 'Germany'",
+      "SELECT nation FROM w WHERE gold = 8",
+      "SELECT nation FROM w WHERE total = 27",
+      "SELECT nation FROM w WHERE nation = 'Atlantis'",
+      "SELECT nation FROM w WHERE nation != 'USA'",
+      // Range predicates over the numeric cache.
+      "SELECT nation FROM w WHERE gold > 5",
+      "SELECT nation FROM w WHERE gold >= 8",
+      "SELECT nation FROM w WHERE silver < 8",
+      "SELECT nation FROM w WHERE bronze <= 5",
+      // Conjunctions, including an empty intermediate row set.
+      "SELECT nation FROM w WHERE gold > 5 AND silver = 10",
+      "SELECT nation FROM w WHERE gold > 100 AND silver = 10",
+      // Ordering (both directions; `total` ties 27-27 check stability)
+      // and limits.
+      "SELECT nation FROM w ORDER BY total DESC",
+      "SELECT nation FROM w ORDER BY total ASC",
+      "SELECT nation, total FROM w ORDER BY total DESC LIMIT 3",
+      "SELECT nation FROM w WHERE gold >= 4 ORDER BY nation ASC LIMIT 4",
+      // Aggregates, with and without predicates; bronze has a null.
+      "SELECT COUNT(nation) FROM w",
+      "SELECT COUNT(bronze) FROM w",
+      "SELECT COUNT(DISTINCT silver) FROM w",
+      "SELECT COUNT(DISTINCT nation) FROM w WHERE gold >= 4",
+      "SELECT SUM(total) FROM w",
+      "SELECT SUM(bronze) FROM w WHERE gold < 10",
+      "SELECT AVG(silver) FROM w",
+      "SELECT MIN(total) FROM w",
+      "SELECT MAX(total) FROM w",
+      "SELECT MAX(total) FROM w WHERE gold < 10",
+      "SELECT MIN(nation) FROM w",
+      // Error parity: unknown columns in every clause position.
+      "SELECT ghost FROM w",
+      "SELECT nation FROM w WHERE ghost = 1",
+      "SELECT nation FROM w ORDER BY ghost",
+      "SELECT SUM(ghost) FROM w",
+      // Type-error parity: aggregating a text column.
+      "SELECT SUM(nation) FROM w",
+      "SELECT AVG(nation) FROM w WHERE gold > 5",
+  };
+  return kQueries;
+}
+
+const std::vector<std::string>& LogicFormSuite() {
+  static const std::vector<std::string> kForms = {
+      // Row selection.
+      "hop { filter_eq { all_rows ; nation ; Germany } ; total }",
+      "count { filter_eq { all_rows ; silver ; 8 } }",
+      "count { filter_not_eq { all_rows ; nation ; USA } }",
+      "count { filter_greater { all_rows ; gold ; 5 } }",
+      "count { filter_less_eq { all_rows ; bronze ; 5 } }",
+      "count { filter_all { all_rows ; bronze } }",
+      // Superlatives and ordinals (27-27 tie in total).
+      "hop { argmax { all_rows ; total } ; nation }",
+      "hop { argmin { all_rows ; total } ; nation }",
+      "hop { nth_argmax { all_rows ; total ; 2 } ; nation }",
+      "hop { nth_argmax { all_rows ; total ; 3 } ; nation }",
+      "hop { nth_argmin { all_rows ; silver ; 2 } ; nation }",
+      "max { all_rows ; gold }",
+      "min { all_rows ; bronze }",
+      "nth_max { all_rows ; total ; 2 }",
+      "nth_min { all_rows ; total ; 3 }",
+      // Aggregates over views (bronze includes a null).
+      "sum { all_rows ; total }",
+      "avg { all_rows ; silver }",
+      "sum { filter_greater { all_rows ; gold ; 5 } ; total }",
+      "avg { filter_eq { all_rows ; silver ; 8 } ; gold }",
+      // Majority / comparison wrappers.
+      "most_greater { all_rows ; gold ; 3 }",
+      "most_eq { all_rows ; silver ; 8 }",
+      "all_greater { all_rows ; total ; 5 }",
+      "eq { count { filter_greater { all_rows ; gold ; 5 } } ; 3 }",
+      "diff { max { all_rows ; total } ; min { all_rows ; total } }",
+      "greater { hop { filter_eq { all_rows ; nation ; Norway } ; gold } ; "
+      "hop { filter_eq { all_rows ; nation ; Sweden } ; gold } }",
+      // Superlative on a filtered (subset) view.
+      "hop { argmax { filter_greater { all_rows ; silver ; 7 } ; total } ; "
+      "nation }",
+      // Error parity: missing column / missing row value.
+      "max { all_rows ; ghost }",
+      "hop { filter_eq { all_rows ; nation ; Atlantis } ; gold }",
+      "sum { all_rows ; nation }",
+  };
+  return kForms;
+}
+
+TEST(IndexDifferentialTest, SqlFixtureSuiteMatchesScan) {
+  Table medals = MedalTable();
+  for (const std::string& query : SqlQuerySuite()) {
+    ExpectSqlIdentical(medals, query);
+  }
+}
+
+TEST(IndexDifferentialTest, SqlFinanceSuiteMatchesScan) {
+  Table finance = FinanceTable();
+  for (const std::string& query : {
+           "SELECT fy2020 FROM w WHERE item = 'revenue'",
+           "SELECT item FROM w WHERE fy2019 = 1234",
+           "SELECT item FROM w WHERE fy2019 > 500 ORDER BY fy2020 DESC",
+           "SELECT SUM(fy2020) FROM w",
+           "SELECT COUNT(growth) FROM w",
+           "SELECT COUNT(DISTINCT growth) FROM w",
+           "SELECT MAX(growth) FROM w",
+           "SELECT AVG(growth) FROM w",
+       }) {
+    ExpectSqlIdentical(finance, query);
+  }
+}
+
+TEST(IndexDifferentialTest, LogicFixtureSuiteMatchesScan) {
+  Table medals = MedalTable();
+  for (const std::string& form : LogicFormSuite()) {
+    ExpectLogicIdentical(medals, form);
+  }
+}
+
+TEST(IndexDifferentialTest, EmptyAndDegenerateTables) {
+  Table empty = Table::FromCsv("a,b\n").ValueOrDie();
+  ExpectSqlIdentical(empty, "SELECT a FROM w WHERE b = 1");
+  ExpectSqlIdentical(empty, "SELECT MAX(a) FROM w");
+  // Scan parity on zero rows: a bad column in the second condition is
+  // never resolved because no row survives the first.
+  ExpectSqlIdentical(empty, "SELECT a FROM w WHERE a = 1 AND ghost = 2");
+  ExpectLogicIdentical(empty, "count { all_rows }");
+  ExpectLogicIdentical(empty, "max { all_rows ; a }");
+
+  Table nulls = Table::FromCsv("x,y\n,\n,\n").ValueOrDie();
+  ExpectSqlIdentical(nulls, "SELECT COUNT(x) FROM w");
+  ExpectSqlIdentical(nulls, "SELECT x FROM w WHERE y = 0");
+  ExpectLogicIdentical(nulls, "count { filter_all { all_rows ; x } }");
+}
+
+// Randomized tables: mixed-type columns (numeric text like "7", currency,
+// plain words, nulls) with heavy duplication so equality and tie-breaking
+// paths all fire. Every query from a fixed suite must agree between the
+// two execution modes on every sampled table.
+TEST(IndexDifferentialTest, RandomizedTablesMatchScan) {
+  Rng rng(20240817);
+  const std::vector<std::string> words = {"alpha", "beta",  "gamma",
+                                          "delta", "Alpha", "BETA"};
+  for (int trial = 0; trial < 25; ++trial) {
+    size_t rows = 1 + rng.Index(14);
+    std::vector<std::vector<std::string>> cells;
+    for (size_t r = 0; r < rows; ++r) {
+      std::vector<std::string> row(4);
+      row[0] = words[rng.Index(words.size())];
+      row[1] = rng.Bernoulli(0.15)
+                   ? ""
+                   : std::to_string(static_cast<int>(rng.Index(6)));
+      row[2] = rng.Bernoulli(0.2)
+                   ? words[rng.Index(words.size())]
+                   : "$" + std::to_string(100 * (1 + rng.Index(5)));
+      row[3] = std::to_string(static_cast<int>(rng.Index(4))) + "." +
+               std::to_string(static_cast<int>(rng.Index(10)));
+      cells.push_back(std::move(row));
+    }
+    Table t =
+        Table::FromStrings({"name", "score", "amount", "ratio"}, cells)
+            .ValueOrDie();
+    for (const std::string& query : {
+             "SELECT score FROM w WHERE name = 'alpha'",
+             "SELECT name FROM w WHERE score = 3",
+             "SELECT name FROM w WHERE amount = 300",
+             "SELECT name FROM w WHERE ratio > 1.5 ORDER BY score DESC",
+             "SELECT name FROM w ORDER BY amount ASC",
+             "SELECT name FROM w ORDER BY name DESC LIMIT 3",
+             "SELECT COUNT(DISTINCT name) FROM w",
+             "SELECT SUM(score) FROM w",
+             "SELECT SUM(amount) FROM w",
+             "SELECT MIN(amount) FROM w",
+             "SELECT MAX(name) FROM w",
+             "SELECT AVG(ratio) FROM w WHERE score >= 2",
+         }) {
+      ExpectSqlIdentical(t, query);
+    }
+    for (const std::string& form : {
+             "count { filter_eq { all_rows ; name ; alpha } }",
+             "hop { argmax { all_rows ; ratio } ; name }",
+             "hop { nth_argmin { all_rows ; ratio ; 2 } ; name }",
+             "sum { all_rows ; score }",
+             "most_eq { all_rows ; name ; beta }",
+         }) {
+      ExpectLogicIdentical(t, form);
+    }
+  }
+}
+
+// Mutations must invalidate the cached index: results computed after a
+// mutable_cell / AppendRow / AppendColumn must reflect the new data and
+// still match the scan path exactly.
+TEST(IndexInvalidationTest, MutationInvalidatesAndStaysIdentical) {
+  Table t = MedalTable();
+
+  auto before = sql::ExecuteQuery(
+      "SELECT total FROM w WHERE nation = 'Germany'", t);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->ToDisplayString(), "27");
+
+  // Rename Germany; the stale hash index would still find it.
+  *t.mutable_cell(1, 0) = Value::String("Wakanda");
+  auto renamed = sql::ExecuteQuery(
+      "SELECT total FROM w WHERE nation = 'Germany'", t);
+  // A stale hash index would still answer 27; the executor's no-match
+  // policy is an EmptyResult status.
+  ASSERT_FALSE(renamed.ok());
+  EXPECT_EQ(renamed.status().code(), StatusCode::kEmptyResult);
+  ExpectSqlIdentical(t, "SELECT total FROM w WHERE nation = 'Wakanda'");
+
+  // Bump a number past the max; the stale sorted order would miss it.
+  *t.mutable_cell(4, 4) = Value::Number(99);
+  auto max_after = logic::ExecuteLogicalForm(
+      "hop { argmax { all_rows ; total } ; nation }", t);
+  ASSERT_TRUE(max_after.ok());
+  EXPECT_EQ(max_after->ToDisplayString(), "Sweden");
+  ExpectLogicIdentical(t, "hop { argmax { all_rows ; total } ; nation }");
+
+  // AppendRow extends every per-column cache.
+  ASSERT_TRUE(t.AppendRow({Value::String("Norway"), Value::Number(1),
+                           Value::Number(2), Value::Number(3),
+                           Value::Number(6)})
+                  .ok());
+  ExpectSqlIdentical(t, "SELECT total FROM w WHERE nation = 'Norway'");
+  ExpectSqlIdentical(t, "SELECT COUNT(DISTINCT nation) FROM w");
+
+  // AppendColumn changes the column count the index was sized for.
+  ASSERT_TRUE(t.AppendColumn("rank", Value::Number(1)).ok());
+  ExpectSqlIdentical(t, "SELECT nation FROM w WHERE rank = 1");
+  ExpectLogicIdentical(t, "sum { all_rows ; rank }");
+}
+
+TEST(IndexInvalidationTest, CopiesRebuildMovesCarry) {
+  Table t = MedalTable();
+  t.WarmIndex();
+  const TableIndex* warmed = &t.index();
+
+  // A copy never shares the original's index.
+  Table copy = t;
+  EXPECT_NE(&copy.index(), warmed);
+  ExpectSqlIdentical(copy, "SELECT total FROM w WHERE nation = 'Canada'");
+
+  // A move carries the warmed index along (serving moves tables into
+  // Samples after warming them once at load).
+  Table moved = std::move(t);
+  EXPECT_EQ(&moved.index(), warmed);
+  ExpectSqlIdentical(moved, "SELECT total FROM w WHERE nation = 'Canada'");
+}
+
+// Concurrent first-touch: many threads execute indexed programs against
+// one shared const Table whose index has NOT been warmed, so the lazy
+// per-column std::call_once builds race. Run under
+// `UCTR_SANITIZE=thread scripts/check.sh index_test` to let TSan check
+// the synchronization; in any build mode the results must match the scan.
+TEST(IndexConcurrencyTest, SharedConstTableAcrossThreads) {
+  Table t = MedalTable();
+  const std::string query =
+      "SELECT nation FROM w WHERE gold >= 4 ORDER BY total DESC";
+  auto expected = sql::ExecuteQuery(query, t, {.use_index = false});
+  ASSERT_TRUE(expected.ok());
+  const std::string want = DescribeOutcome(expected);
+
+  constexpr int kThreads = 8;
+  std::vector<std::string> got(kThreads);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+      workers.emplace_back([&t, &query, &got, i] {
+        auto r = sql::ExecuteQuery(query, t, {.use_index = true});
+        got[i] = DescribeOutcome(r);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  for (int i = 0; i < kThreads; ++i) {
+    EXPECT_EQ(got[i], want) << "thread " << i;
+  }
+}
+
+// The span accessor must agree with the copying ColumnValues everywhere.
+TEST(ColumnSpanTest, MatchesColumnValues) {
+  Table t = FinanceTable();
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    std::vector<Value> copies = t.ColumnValues(c);
+    ColumnSpan span = t.Column(c);
+    ASSERT_EQ(span.size(), copies.size());
+    for (size_t r = 0; r < copies.size(); ++r) {
+      EXPECT_EQ(span[r].type(), copies[r].type());
+      EXPECT_EQ(span[r].ToDisplayString(), copies[r].ToDisplayString());
+    }
+  }
+}
+
+// RowIndexByName now reads the cached first column; exact, substring, and
+// error behavior must be unchanged.
+TEST(RowIndexByNameTest, IndexedLookupKeepsSemantics) {
+  Table t = MedalTable();
+  EXPECT_EQ(t.RowIndexByName("germany").ValueOrDie(), 1u);
+  EXPECT_EQ(t.RowIndexByName("  USA  ").ValueOrDie(), 3u);
+  EXPECT_EQ(t.RowIndexByName("swed").ValueOrDie(), 4u);  // substring
+  EXPECT_FALSE(t.RowIndexByName("Atlantis").ok());
+  // Mutation is visible through the name lookup too.
+  *t.mutable_cell(1, 0) = Value::String("Prussia");
+  EXPECT_EQ(t.RowIndexByName("Prussia").ValueOrDie(), 1u);
+  EXPECT_FALSE(t.RowIndexByName("Germany").ok());
+}
+
+}  // namespace
+}  // namespace uctr
