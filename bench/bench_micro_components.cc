@@ -5,10 +5,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "arith/executor.h"
+#include "obs/metrics.h"
 #include "arith/parser.h"
 #include "gen/generator.h"
 #include "gen/parallel.h"
@@ -282,12 +284,20 @@ BENCHMARK(BM_GenerateParallel)->Arg(1)->Arg(4)->UseRealTime();
 // `bench_micro_components --smoke` caps every benchmark's measuring time
 // (google-benchmark 1.7: --benchmark_min_time takes plain seconds), turning
 // the full suite into a sub-second crash/regression canary.
+//
+// `--stages` additionally dumps the process-wide metrics registry after the
+// run: the executor / generation-pipeline counters accumulated across every
+// benchmark iteration (indexed-vs-scan split, rows scanned, discard
+// reasons), giving per-stage context next to the timing numbers.
 int main(int argc, char** argv) {
   std::vector<char*> args;
   bool smoke = false;
+  bool stages = false;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--stages") == 0) {
+      stages = true;
     } else {
       args.push_back(argv[i]);
     }
@@ -301,5 +311,9 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (stages) {
+    std::cout << "\n--- stage metrics (obs::DefaultRegistry) ---\n"
+              << uctr::obs::DefaultRegistry().ExpositionText();
+  }
   return 0;
 }

@@ -6,6 +6,7 @@
 #include "arith/parser.h"
 #include "common/numeric.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace uctr::arith {
 
@@ -158,6 +159,12 @@ class Evaluator {
 }  // namespace
 
 Result<ExecResult> Execute(const Expression& expr, const Table& table) {
+  static obs::Counter* exec_total =
+      obs::DefaultRegistry().counter("arith_exec_total");
+  static obs::Counter* steps_total =
+      obs::DefaultRegistry().counter("arith_steps_total");
+  exec_total->Increment();
+  steps_total->Increment(expr.steps.size());
   Evaluator eval(table);
   UCTR_ASSIGN_OR_RETURN(Value answer, eval.Run(expr));
   ExecResult result;

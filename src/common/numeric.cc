@@ -20,6 +20,17 @@ std::optional<double> ParseNumber(std::string_view text) {
     s = Trim(std::string_view(s).substr(1, s.size() - 2));
     if (s.empty()) return std::nullopt;
   }
+  // Explicit sign, hoisted ahead of the currency/percent strips so signed
+  // currency and percent forms ("-$5", "-€1,200", "+3%") parse. A '-'
+  // composes multiplicatively with the accounting parentheses, matching
+  // how strtod handled an inner sign before the hoist: "(-5)" stays +5.
+  if (s.front() == '+' || s.front() == '-') {
+    if (s.front() == '-') negative = !negative;
+    s = Trim(std::string_view(s).substr(1));
+    if (s.empty()) return std::nullopt;
+    // At most one explicit sign ("--5" stays non-numeric).
+    if (s.front() == '+' || s.front() == '-') return std::nullopt;
+  }
   // Currency prefixes.
   for (std::string_view prefix : {"US$", "USD", "$", "€", "£", "¥"}) {
     if (StartsWith(s, prefix)) {

@@ -1,11 +1,13 @@
 #include "datasets/corpus.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 
 #include "common/numeric.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace uctr::datasets {
 
@@ -148,11 +150,20 @@ std::vector<TableWithText> CorpusGenerator::Generate() {
   if (topics.empty()) {
     for (size_t i = 0; i < all_topics.size(); ++i) topics.push_back(i);
   }
+  static obs::Counter* tables_total =
+      obs::DefaultRegistry().counter("corpus_tables_total");
+  static obs::Histogram* corpus_us =
+      obs::DefaultRegistry().histogram("latency_corpus_table_us");
   std::vector<TableWithText> out;
   out.reserve(config_.num_tables);
   for (size_t i = 0; i < config_.num_tables; ++i) {
     const Topic& topic = all_topics[topics[i % topics.size()]];
+    auto started = std::chrono::steady_clock::now();
     out.push_back(GenerateOne(topic, i));
+    tables_total->Increment();
+    corpus_us->Observe(std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - started)
+                           .count());
   }
   return out;
 }

@@ -1,11 +1,22 @@
 #include "gen/generator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
 #include "common/string_util.h"
 
 namespace uctr {
+
+namespace {
+
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 Generator::Generator(GenerationConfig config, const TemplateLibrary* library,
                      Rng* rng)
@@ -15,7 +26,8 @@ Generator::Generator(GenerationConfig config, const TemplateLibrary* library,
       sampler_(rng),
       nl_generator_(config_.nl, config_.lexicon != nullptr
                                     ? config_.lexicon
-                                    : &nlgen::Lexicon::Default()) {
+                                    : &nlgen::Lexicon::Default()),
+      tracer_(&obs::Tracer::Default()) {
   for (ProgramType type : config_.program_types) {
     for (auto& tmpl : library_->OfType(type)) {
       auto it = config_.reasoning_weights.find(tmpl.reasoning_type);
@@ -24,10 +36,36 @@ Generator::Generator(GenerationConfig config, const TemplateLibrary* library,
       active_templates_.push_back(std::move(tmpl));
     }
   }
+
+  obs::MetricsRegistry& registry = obs::DefaultRegistry();
+  inst_.attempts = registry.counter("gen_attempts_total");
+  inst_.emitted = registry.counter("gen_samples_total");
+  inst_.duplicates =
+      registry.counter("gen_discards_total{reason=\"Duplicate\"}");
+  inst_.exhausted = registry.counter("gen_slots_exhausted_total");
+  inst_.sample_us = registry.histogram("latency_gen_sample_us");
+  inst_.table_us = registry.histogram("latency_gen_table_us");
+  inst_.template_attempts.reserve(active_templates_.size());
+  for (const ProgramTemplate& tmpl : active_templates_) {
+    inst_.template_attempts.push_back(registry.counter(
+        "gen_template_attempts_total{reasoning_type=\"" +
+        tmpl.reasoning_type + "\"}"));
+  }
+  // One discard counter per Status code; indexed by the code's numeric
+  // value so a failed attempt is a single array lookup + relaxed add.
+  constexpr int kNumCodes =
+      static_cast<int>(StatusCode::kDeadlineExceeded) + 1;
+  inst_.discards_by_code.reserve(kNumCodes);
+  for (int code = 0; code < kNumCodes; ++code) {
+    inst_.discards_by_code.push_back(registry.counter(
+        std::string("gen_discards_total{reason=\"") +
+        StatusCodeToString(static_cast<StatusCode>(code)) + "\"}"));
+  }
 }
 
 Result<SampledProgram> Generator::SampleProgram(const Table& table,
                                                 const ProgramTemplate& tmpl) {
+  obs::Span span = tracer_->StartSpan("gen.program");
   if (config_.task == TaskType::kFactVerification) {
     if (tmpl.type != ProgramType::kLogicalForm) {
       return Status::InvalidArgument(
@@ -43,12 +81,21 @@ Result<SampledProgram> Generator::SampleProgram(const Table& table,
   return sampler_.Sample(tmpl, table);
 }
 
+Result<std::string> Generator::RealizeSentence(const Program& program) {
+  obs::Span span = tracer_->StartSpan("gen.nl");
+  return nl_generator_.Generate(program, rng_);
+}
+
 Result<Sample> Generator::TryGenerate(const TableWithText& input) {
   if (active_templates_.empty()) {
     return Status::InvalidArgument("no templates for configured task");
   }
-  const ProgramTemplate& tmpl =
-      active_templates_[rng_->WeightedIndex(template_weights_)];
+  size_t tmpl_index = rng_->WeightedIndex(template_weights_);
+  const ProgramTemplate& tmpl = active_templates_[tmpl_index];
+  inst_.attempts->Increment();
+  inst_.template_attempts[tmpl_index]->Increment();
+  obs::Span attempt_span = tracer_->StartSpan("gen.attempt");
+  attempt_span.AddAttr("reasoning_type", tmpl.reasoning_type);
 
   // Choose the pipeline for this sample up front (Figure 3): plain
   // table-only generation, table splitting, or table expansion.
@@ -60,6 +107,7 @@ Result<Sample> Generator::TryGenerate(const TableWithText& input) {
 
   // --- Table expansion: integrate text into the table, then program it.
   if (want_hybrid && can_expand && (rng_->Bernoulli(0.5) || !can_split)) {
+    obs::Span expand_span = tracer_->StartSpan("gen.table_expand");
     UCTR_ASSIGN_OR_RETURN(
         hybrid::ExtractedRecord record,
         text_to_table_.ExtractRecord(input.table, input.paragraph));
@@ -78,8 +126,7 @@ Result<Sample> Generator::TryGenerate(const TableWithText& input) {
       return Status::EmptyResult(
           "expanded row not involved in the reasoning");
     }
-    UCTR_ASSIGN_OR_RETURN(std::string sentence,
-                          nl_generator_.Generate(sp.program, rng_));
+    UCTR_ASSIGN_OR_RETURN(std::string sentence, RealizeSentence(sp.program));
     Sample sample;
     sample.task = config_.task;
     sample.table = input.table;       // original table...
@@ -100,8 +147,7 @@ Result<Sample> Generator::TryGenerate(const TableWithText& input) {
 
   // --- Program over the full table (shared by table-only and splitting).
   UCTR_ASSIGN_OR_RETURN(SampledProgram sp, SampleProgram(input.table, tmpl));
-  UCTR_ASSIGN_OR_RETURN(std::string sentence,
-                        nl_generator_.Generate(sp.program, rng_));
+  UCTR_ASSIGN_OR_RETURN(std::string sentence, RealizeSentence(sp.program));
 
   Sample sample;
   sample.task = config_.task;
@@ -119,6 +165,7 @@ Result<Sample> Generator::TryGenerate(const TableWithText& input) {
   // --- Table splitting: move one evidence row into a generated sentence.
   if (want_hybrid && can_split && !sp.result.evidence_rows.empty() &&
       sp.result.evidence_rows.size() < input.table.num_rows()) {
+    obs::Span split_span = tracer_->StartSpan("gen.table_split");
     auto split = table_to_text_.ApplyToEvidence(
         input.table, sp.result.evidence_rows, rng_);
     if (split.ok()) {
@@ -143,17 +190,36 @@ Result<Sample> Generator::TryGenerate(const TableWithText& input) {
 }
 
 std::vector<Sample> Generator::GenerateFromTable(const TableWithText& input) {
+  obs::Span table_span = tracer_->StartSpan("gen.table");
+  auto table_started = std::chrono::steady_clock::now();
   std::vector<Sample> out;
   std::set<std::string> seen_sentences;
   for (size_t i = 0; i < config_.samples_per_table; ++i) {
+    auto slot_started = std::chrono::steady_clock::now();
+    bool emitted = false;
     for (size_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
       Result<Sample> r = TryGenerate(input);
-      if (!r.ok()) continue;
-      if (!seen_sentences.insert(r->sentence).second) continue;  // dup
+      if (!r.ok()) {
+        size_t code = static_cast<size_t>(r.status().code());
+        if (code < inst_.discards_by_code.size()) {
+          inst_.discards_by_code[code]->Increment();
+        }
+        continue;
+      }
+      if (!seen_sentences.insert(r->sentence).second) {  // dup
+        inst_.duplicates->Increment();
+        continue;
+      }
       out.push_back(std::move(r).ValueOrDie());
+      inst_.emitted->Increment();
+      inst_.sample_us->Observe(MicrosSince(slot_started));
+      emitted = true;
       break;
     }
+    if (!emitted) inst_.exhausted->Increment();
   }
+  inst_.table_us->Observe(MicrosSince(table_started));
+  table_span.AddAttr("samples", std::to_string(out.size()));
   return out;
 }
 

@@ -8,6 +8,8 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "gen/sample.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "hybrid/table_to_text.h"
 #include "hybrid/text_to_table.h"
 #include "nlgen/nl_generator.h"
@@ -100,6 +102,25 @@ class Generator {
   Result<SampledProgram> SampleProgram(const Table& table,
                                        const ProgramTemplate& tmpl);
 
+  /// NL-Generator call wrapped in a "gen.nl" span.
+  Result<std::string> RealizeSentence(const Program& program);
+
+  /// Pipeline instruments, resolved once from obs::DefaultRegistry() at
+  /// construction so the per-attempt hot path is pointer chases and
+  /// relaxed atomic adds only (no registry lock).
+  struct Instruments {
+    obs::Counter* attempts;         ///< gen_attempts_total
+    obs::Counter* emitted;          ///< gen_samples_total
+    obs::Counter* duplicates;       ///< gen_discards_total{reason="Duplicate"}
+    obs::Counter* exhausted;        ///< gen_slots_exhausted_total
+    obs::Histogram* sample_us;      ///< latency_gen_sample_us (per emitted)
+    obs::Histogram* table_us;       ///< latency_gen_table_us (per input)
+    /// Attempts by template reasoning type, parallel to active_templates_.
+    std::vector<obs::Counter*> template_attempts;
+    /// Discarded attempts keyed by Status code of the failed stage.
+    std::vector<obs::Counter*> discards_by_code;
+  };
+
   GenerationConfig config_;
   const TemplateLibrary* library_;
   std::vector<ProgramTemplate> active_templates_;
@@ -109,6 +130,8 @@ class Generator {
   nlgen::NlGenerator nl_generator_;
   hybrid::TableToText table_to_text_;
   hybrid::TextToTable text_to_table_;
+  Instruments inst_;
+  obs::Tracer* tracer_;
 };
 
 }  // namespace uctr

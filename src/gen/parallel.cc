@@ -1,7 +1,11 @@
 #include "gen/parallel.h"
 
 #include <atomic>
+#include <chrono>
 #include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace uctr {
 
@@ -9,6 +13,8 @@ Dataset GenerateDatasetParallel(const GenerationConfig& config,
                                 const TemplateLibrary* library,
                                 const std::vector<TableWithText>& corpus,
                                 uint64_t base_seed, size_t num_threads) {
+  obs::Span dataset_span = obs::Tracer::Default().StartSpan("gen.dataset");
+  auto dataset_started = std::chrono::steady_clock::now();
   std::vector<std::vector<Sample>> per_entry(corpus.size());
   if (num_threads == 0) num_threads = 1;
   num_threads = std::min(num_threads, std::max<size_t>(1, corpus.size()));
@@ -45,6 +51,15 @@ Dataset GenerateDatasetParallel(const GenerationConfig& config,
     AppendUnknownSamples(corpus, config.unknown_fraction, &post_rng,
                          &dataset);
   }
+  obs::MetricsRegistry& registry = obs::DefaultRegistry();
+  registry.counter("gen_datasets_total")->Increment();
+  registry.histogram("latency_gen_dataset_us")
+      ->Observe(std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - dataset_started)
+                    .count());
+  dataset_span.AddAttr("tables", std::to_string(corpus.size()));
+  dataset_span.AddAttr("samples", std::to_string(dataset.samples.size()));
+  dataset_span.AddAttr("threads", std::to_string(num_threads));
   return dataset;
 }
 

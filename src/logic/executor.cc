@@ -8,11 +8,29 @@
 #include "common/numeric.h"
 #include "common/string_util.h"
 #include "logic/parser.h"
+#include "obs/metrics.h"
 #include "table/index.h"
 
 namespace uctr::logic {
 
 namespace {
+
+/// Executor instruments, resolved once (thread-safe function-local
+/// statics); per-program cost is relaxed atomic adds on exit.
+struct LogicInstruments {
+  obs::Counter* exec_indexed;
+  obs::Counter* exec_scan;
+  obs::Counter* rows_scanned;
+  static const LogicInstruments& Get() {
+    static const LogicInstruments inst = [] {
+      obs::MetricsRegistry& r = obs::DefaultRegistry();
+      return LogicInstruments{r.counter("logic_exec_total{path=\"indexed\"}"),
+                              r.counter("logic_exec_total{path=\"scan\"}"),
+                              r.counter("logic_rows_scanned_total")};
+    }();
+    return inst;
+  }
+};
 
 /// Intermediate value flowing through logical-form evaluation: either a
 /// view (ordered set of row indices) or a scalar Value.
@@ -58,6 +76,10 @@ class Evaluator {
   }
 
   const std::set<size_t>& evidence() const { return evidence_; }
+
+  /// Rows whose cells were evaluated one-by-one (hash-index probes skip
+  /// the per-row work and are not counted). Read once after Eval.
+  size_t rows_scanned() const { return rows_scanned_; }
 
  private:
   // --- helpers -----------------------------------------------------------
@@ -165,6 +187,7 @@ class Evaluator {
                                    const Value& ref) const {
     std::vector<size_t> out;
     if (index_ == nullptr) {
+      rows_scanned_ += view.size();
       for (size_t r : view) {
         if (CellMatches(table_.cell(r, col_idx), cmp, ref)) out.push_back(r);
       }
@@ -182,6 +205,7 @@ class Evaluator {
       }
       return out;
     }
+    rows_scanned_ += view.size();
     for (size_t r : view) {
       if (CellMatchesIndexed(col, r, cmp, key)) out.push_back(r);
     }
@@ -309,6 +333,7 @@ class Evaluator {
     UCTR_ASSIGN_OR_RETURN(std::vector<size_t> view, EvalView(*node.args[0]));
     UCTR_ASSIGN_OR_RETURN(size_t col, Column(*node.args[1]));
     MarkEvidence(view);
+    rows_scanned_ += view.size();
     double sum = 0;
     size_t n = 0;
     if (index_ != nullptr) {
@@ -460,14 +485,20 @@ class Evaluator {
   const Table& table_;
   const TableIndex* index_;
   std::set<size_t> evidence_;
+  mutable size_t rows_scanned_ = 0;  ///< MatchingRows is const.
 };
 
 }  // namespace
 
 Result<ExecResult> Execute(const Node& node, const Table& table,
                            const ExecOptions& opts) {
+  const LogicInstruments& inst = LogicInstruments::Get();
+  (opts.use_index ? inst.exec_indexed : inst.exec_scan)->Increment();
   Evaluator eval(table, opts.use_index ? &table.index() : nullptr);
-  UCTR_ASSIGN_OR_RETURN(LogicValue out, eval.Eval(node));
+  Result<LogicValue> evaluated = eval.Eval(node);
+  inst.rows_scanned->Increment(eval.rows_scanned());
+  UCTR_RETURN_NOT_OK(evaluated.status());
+  LogicValue out = std::move(evaluated).ValueOrDie();
   ExecResult result;
   if (out.is_view()) {
     // A bare view is not a complete verification program, but expose the

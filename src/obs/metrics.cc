@@ -1,11 +1,11 @@
-#include "serve/metrics.h"
+#include "obs/metrics.h"
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <vector>
 
-namespace uctr::serve {
+namespace uctr::obs {
 
 namespace {
 
@@ -94,4 +94,9 @@ std::string MetricsRegistry::ExpositionText() const {
   return out;
 }
 
-}  // namespace uctr::serve
+MetricsRegistry& DefaultRegistry() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace uctr::obs

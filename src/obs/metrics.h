@@ -1,5 +1,5 @@
-#ifndef UCTR_SERVE_METRICS_H_
-#define UCTR_SERVE_METRICS_H_
+#ifndef UCTR_OBS_METRICS_H_
+#define UCTR_OBS_METRICS_H_
 
 #include <atomic>
 #include <cstdint>
@@ -8,7 +8,7 @@
 #include <mutex>
 #include <string>
 
-namespace uctr::serve {
+namespace uctr::obs {
 
 /// \brief A monotonically increasing counter. Increment is lock-free;
 /// reads are racy-but-atomic (fine for monitoring).
@@ -52,8 +52,9 @@ class Histogram {
   std::atomic<uint64_t> sum_nanos_{0};
 };
 
-/// \brief Named counters and histograms for the serving subsystem, with a
-/// plain-text exposition dump (Prometheus-flavored `name value` lines).
+/// \brief Named counters and histograms shared by every pipeline stage,
+/// with a plain-text exposition dump (Prometheus-flavored `name value`
+/// lines).
 ///
 /// counter()/histogram() return stable pointers: instruments live as long
 /// as the registry, so hot paths look them up once and then update
@@ -77,6 +78,12 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
-}  // namespace uctr::serve
+/// \brief The process-wide registry. Library code (executors, the
+/// generator, the corpus loader, serving) records here by default, so one
+/// dump covers every stage; callers that need isolated counts (tests,
+/// embedded servers) pass their own registry where an API accepts one.
+MetricsRegistry& DefaultRegistry();
 
-#endif  // UCTR_SERVE_METRICS_H_
+}  // namespace uctr::obs
+
+#endif  // UCTR_OBS_METRICS_H_

@@ -12,10 +12,13 @@
 #include <utility>
 #include <vector>
 
-#include "serve/metrics.h"
+#include "obs/metrics.h"
 #include "table/table.h"
 
 namespace uctr::serve {
+
+using obs::Counter;
+using obs::MetricsRegistry;
 
 /// \brief Sharded LRU cache of serialized responses, keyed by
 /// (table fingerprint, normalized query). Repeated claims/questions over

@@ -11,9 +11,15 @@
 #include <vector>
 
 #include "common/status.h"
-#include "serve/metrics.h"
+#include "obs/metrics.h"
 
 namespace uctr::serve {
+
+// The serving subsystem records into the shared observability layer
+// (src/obs/); these aliases keep the serve:: spelling that predates it.
+using obs::Counter;
+using obs::Histogram;
+using obs::MetricsRegistry;
 
 /// \brief Worker-pool knobs.
 struct SchedulerConfig {

@@ -32,26 +32,47 @@ uint64_t OrderedResponseWriter::NextSequence() {
 }
 
 void OrderedResponseWriter::Write(uint64_t sequence, std::string line) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   pending_.emplace(sequence, std::move(line));
-  while (!pending_.empty() && pending_.begin()->first == next_flush_) {
-    sink_(pending_.begin()->second);
-    pending_.erase(pending_.begin());
-    ++next_flush_;
+  // One thread at a time drains the contiguous prefix, calling the sink
+  // with the lock RELEASED: a slow sink no longer serializes every worker
+  // behind mu_, and a sink that re-enters Write just buffers its line for
+  // the active flusher (no deadlock on the non-recursive mutex).
+  if (flushing_) return;
+  flushing_ = true;
+  std::vector<std::string> batch;
+  while (true) {
+    while (!pending_.empty() && pending_.begin()->first == next_flush_) {
+      batch.push_back(std::move(pending_.begin()->second));
+      pending_.erase(pending_.begin());
+      ++next_flush_;
+    }
+    if (batch.empty()) break;
+    lock.unlock();
+    for (const std::string& flushed : batch) sink_(flushed);
+    batch.clear();
+    lock.lock();
   }
+  flushing_ = false;
 }
 
 Server::Server(const InferenceEngine* engine, ServerConfig config)
     : engine_(engine),
       config_(config),
-      cache_(config.cache_capacity, config.cache_shards, &metrics_),
-      scheduler_(config.scheduler, &metrics_),
-      requests_total_(metrics_.counter("requests_total")),
-      responses_ok_(metrics_.counter("responses_ok_total")),
-      responses_rejected_(metrics_.counter("responses_rejected_total")),
-      responses_timeout_(metrics_.counter("responses_timeout_total")),
-      responses_error_(metrics_.counter("responses_error_total")),
-      execute_us_(metrics_.histogram("latency_execute_us")) {}
+      metrics_(config.metrics != nullptr ? config.metrics
+                                         : &obs::DefaultRegistry()),
+      tracer_(config.tracer != nullptr ? config.tracer
+                                       : &obs::Tracer::Default()),
+      cache_(config.cache_capacity, config.cache_shards, metrics_),
+      scheduler_(config.scheduler, metrics_),
+      requests_total_(metrics_->counter("requests_total")),
+      responses_ok_(metrics_->counter("responses_ok_total")),
+      responses_rejected_(metrics_->counter("responses_rejected_total")),
+      responses_timeout_(metrics_->counter("responses_timeout_total")),
+      responses_error_(metrics_->counter("responses_error_total")),
+      execute_us_(metrics_->histogram("latency_execute_us")),
+      table_parse_us_(metrics_->histogram("latency_table_parse_us")),
+      index_warm_us_(metrics_->histogram("latency_index_warm_us")) {}
 
 Server::~Server() { scheduler_.Shutdown(); }
 
@@ -83,13 +104,22 @@ void Server::SubmitLine(const std::string& line,
   }
   if (op == "metrics") {
     responses_ok_->Increment();
-    done(ResponseLine(id, "ok", "metrics", metrics_.ExpositionText()));
+    done(ResponseLine(id, "ok", "metrics", metrics_->ExpositionText()));
+    return;
+  }
+  if (op == "stats") {
+    responses_ok_->Increment();
+    // Structured variant of `metrics`: a JSON object instead of the
+    // plain-text exposition, for programmatic clients.
+    done("{\"id\":" + std::to_string(id) +
+         ",\"status\":\"ok\",\"stats\":" + StatsJson() + "}");
     return;
   }
   if (op != "verify" && op != "answer") {
     responses_error_->Increment();
     done(ResponseLine(id, "error", "error",
-                      "unknown op '" + op + "' (verify|answer|metrics|ping)"));
+                      "unknown op '" + op +
+                          "' (verify|answer|metrics|stats|ping)"));
     return;
   }
 
@@ -127,7 +157,12 @@ void Server::SubmitLine(const std::string& line,
   double timeout_ms = json::GetNumberOr(
       obj, "timeout_ms", static_cast<double>(config_.default_timeout_ms));
   Scheduler::Job job;
-  if (timeout_ms > 0 && std::isfinite(timeout_ms)) {
+  // Only apply a deadline for positive, finite timeouts below the clamp:
+  // a huge client-supplied value (e.g. 1e18 ms) would overflow the
+  // int64 microsecond cast (UB) and wrap to a deadline in the past,
+  // instantly expiring the request. Out-of-range means "no deadline".
+  if (timeout_ms > 0 && std::isfinite(timeout_ms) &&
+      timeout_ms <= ServerConfig::kMaxTimeoutMs) {
     job.deadline = Scheduler::Clock::now() +
                    std::chrono::microseconds(
                        static_cast<int64_t>(timeout_ms * 1000.0));
@@ -136,29 +171,60 @@ void Server::SubmitLine(const std::string& line,
   // The worker owns the parsed request pieces via the closure.
   auto shared_done =
       std::make_shared<std::function<void(std::string)>>(std::move(done));
+  auto submitted_at = Scheduler::Clock::now();
   job.run = [this, id, op, csv = std::move(*csv),
              query = std::move(*query), paragraph = std::move(paragraph),
-             fp, cache_key, shared_done] {
+             fp, cache_key, shared_done, submitted_at] {
     if (config_.pre_execute_hook) config_.pre_execute_hook();
     auto started = Scheduler::Clock::now();
-    auto table = Table::FromCsv(csv);
+    obs::Span request_span = tracer_->StartSpan("serve.request");
+    request_span.AddAttr("op", op);
+    request_span.AddAttr(
+        "queue_wait_us",
+        std::to_string(std::chrono::duration_cast<std::chrono::microseconds>(
+                           started - submitted_at)
+                           .count()));
+    Result<Table> table = [&] {
+      obs::Span parse_span = tracer_->StartSpan("serve.table_parse");
+      auto parsed = Table::FromCsv(csv);
+      table_parse_us_->Observe(std::chrono::duration<double, std::micro>(
+                                   Scheduler::Clock::now() - started)
+                                   .count());
+      return parsed;
+    }();
     if (!table.ok()) {
       responses_error_->Increment();
+      request_span.AddAttr("error", "table_parse");
       (*shared_done)(ResponseLine(id, "error", "error",
                                   "table: " + table.status().ToString()));
       return;
     }
-    // Build the per-table index once at load; moving the table into the
-    // engine carries it through every template execution of the request.
-    table->WarmIndex();
-    std::string body =
-        op == "verify"
-            ? engine_->Verify(std::move(*table), query, paragraph)
-            : engine_->Answer(std::move(*table), query, paragraph);
-    execute_us_->Observe(std::chrono::duration<double, std::micro>(
-                             Scheduler::Clock::now() - started)
-                             .count());
-    cache_.Put(fp, cache_key, body);
+    {
+      // Build the per-table index once at load; moving the table into
+      // the engine carries it through every template execution of the
+      // request.
+      obs::Span warm_span = tracer_->StartSpan("serve.index_warm");
+      auto warm_started = Scheduler::Clock::now();
+      table->WarmIndex();
+      index_warm_us_->Observe(std::chrono::duration<double, std::micro>(
+                                  Scheduler::Clock::now() - warm_started)
+                                  .count());
+    }
+    std::string body;
+    {
+      obs::Span exec_span = tracer_->StartSpan("serve.execute");
+      auto exec_started = Scheduler::Clock::now();
+      body = op == "verify"
+                 ? engine_->Verify(std::move(*table), query, paragraph)
+                 : engine_->Answer(std::move(*table), query, paragraph);
+      execute_us_->Observe(std::chrono::duration<double, std::micro>(
+                               Scheduler::Clock::now() - exec_started)
+                               .count());
+    }
+    {
+      obs::Span put_span = tracer_->StartSpan("serve.cache_put");
+      cache_.Put(fp, cache_key, body);
+    }
     responses_ok_->Increment();
     (*shared_done)(
         ResponseLine(id, "ok", op == "verify" ? "label" : "answer", body));
@@ -175,6 +241,30 @@ void Server::SubmitLine(const std::string& line,
     (*shared_done)(ResponseLine(id, "rejected", "error",
                                 submitted.message()));
   }
+}
+
+std::string Server::StatsJson() const {
+  auto count = [this](const char* name) {
+    return std::to_string(metrics_->counter(name)->value());
+  };
+  std::string out = "{";
+  out += "\"requests_total\":" + count("requests_total");
+  out += ",\"responses_ok_total\":" + count("responses_ok_total");
+  out += ",\"responses_error_total\":" + count("responses_error_total");
+  out += ",\"responses_rejected_total\":" + count("responses_rejected_total");
+  out += ",\"responses_timeout_total\":" + count("responses_timeout_total");
+  out += ",\"cache_hits_total\":" + count("cache_hits_total");
+  out += ",\"cache_misses_total\":" + count("cache_misses_total");
+  out += ",\"cache_size\":" + std::to_string(cache_.size());
+  out += ",\"queue_depth\":" + std::to_string(scheduler_.QueueDepth());
+  out += ",\"workers\":" + std::to_string(scheduler_.num_workers());
+  Histogram* execute = metrics_->histogram("latency_execute_us");
+  out += ",\"execute_p50_us\":" +
+         std::to_string(static_cast<int64_t>(execute->QuantileMicros(0.5)));
+  out += ",\"execute_p99_us\":" +
+         std::to_string(static_cast<int64_t>(execute->QuantileMicros(0.99)));
+  out += "}";
+  return out;
 }
 
 std::string Server::HandleLine(const std::string& line) {

@@ -8,8 +8,9 @@
 #include <mutex>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/engine.h"
-#include "serve/metrics.h"
 #include "serve/result_cache.h"
 #include "serve/scheduler.h"
 
@@ -22,6 +23,17 @@ struct ServerConfig {
   size_t cache_shards = 8;
   /// Applied when a request carries no `timeout_ms`; 0 = no deadline.
   int64_t default_timeout_ms = 0;
+  /// Requests may not extend their deadline beyond this; larger (or
+  /// non-finite) client-supplied `timeout_ms` values run with no deadline
+  /// at all rather than overflowing the deadline arithmetic.
+  static constexpr double kMaxTimeoutMs = 1e9;  // ~11.6 days
+  /// Metrics sink; null = the process-wide obs::DefaultRegistry(), so the
+  /// serving counters land next to the generation/executor ones. Tests
+  /// that assert exact counts pass their own registry.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Trace sink; null = obs::Tracer::Default(). Spans are recorded only
+  /// while the tracer is enabled.
+  obs::Tracer* tracer = nullptr;
   /// Invoked on the worker thread before each cache-miss execution.
   /// Hook for benches and tests: inject a simulated evidence-fetch stall
   /// (bench_serving uses this to measure worker overlap independently of
@@ -36,7 +48,7 @@ struct ServerConfig {
 ///   {"id":1,"op":"verify","table":"<csv>","query":"<claim>",
 ///    "paragraph":["..."],"timeout_ms":250}
 ///   {"id":2,"op":"answer","table":"<csv>","query":"<question>"}
-///   {"op":"metrics"}   {"op":"ping"}
+///   {"op":"metrics"}   {"op":"stats"}   {"op":"ping"}
 ///
 /// One response object per line (no "cached" marker: responses are
 /// byte-identical whether they came from the cache or a worker, so the
@@ -74,14 +86,21 @@ class Server {
   /// \brief Blocks until all submitted requests have completed.
   void Drain();
 
-  MetricsRegistry* metrics() { return &metrics_; }
+  /// \brief The registry this server records into (the shared default
+  /// unless ServerConfig::metrics overrode it).
+  MetricsRegistry* metrics() { return metrics_; }
   ResultCache* cache() { return &cache_; }
   Scheduler* scheduler() { return &scheduler_; }
 
  private:
+  /// \brief The in-band `stats` response body: a JSON object with the key
+  /// serving counters plus live queue/cache occupancy.
+  std::string StatsJson() const;
+
   const InferenceEngine* engine_;
   ServerConfig config_;
-  MetricsRegistry metrics_;
+  MetricsRegistry* metrics_;  ///< Not owned; outlives the server.
+  obs::Tracer* tracer_;       ///< Not owned.
   ResultCache cache_;
   Scheduler scheduler_;
 
@@ -91,6 +110,8 @@ class Server {
   Counter* responses_timeout_;
   Counter* responses_error_;
   Histogram* execute_us_;
+  Histogram* table_parse_us_;
+  Histogram* index_warm_us_;
 };
 
 /// \brief Reorders asynchronous responses back into submission order.
@@ -101,7 +122,10 @@ class Server {
 class OrderedResponseWriter {
  public:
   /// \param sink receives each response line exactly once, in sequence
-  /// order, possibly from different threads but never concurrently.
+  /// order, possibly from different threads but never concurrently. The
+  /// writer's lock is NOT held across sink calls, so a slow sink stalls
+  /// only the flushing thread (others buffer and return) and a sink that
+  /// re-enters Write does not deadlock.
   explicit OrderedResponseWriter(std::function<void(const std::string&)> sink)
       : sink_(std::move(sink)) {}
 
@@ -113,6 +137,7 @@ class OrderedResponseWriter {
   std::function<void(const std::string&)> sink_;
   uint64_t next_assign_ = 0;
   uint64_t next_flush_ = 0;
+  bool flushing_ = false;  ///< A thread is draining outside the lock.
   std::map<uint64_t, std::string> pending_;
 };
 

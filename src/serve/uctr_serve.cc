@@ -2,6 +2,7 @@
 // UCTR models.
 //
 //   uctr_serve train --out_dir /tmp/uctr_weights [--seed 42]
+//                    [--metrics] [--trace-out FILE]
 //       Generates synthetic training data with the existing unsupervised
 //       pipeline (Generator over built-in demo tables), trains the
 //       verifier and QA models with the existing training path, and
@@ -9,12 +10,16 @@
 //
 //   uctr_serve serve [--verifier_weights F] [--qa_weights F]
 //                    [--workers N] [--queue N] [--cache N]
-//                    [--timeout_ms N] [--metrics]
+//                    [--timeout_ms N] [--metrics] [--trace-out FILE]
 //       Reads one JSON request per stdin line, writes one JSON response
 //       per stdout line in input order. With --metrics, dumps the metrics
 //       exposition to stderr at EOF.
 //
-// See README.md "Serving" for the request/response schema.
+// Either mode with --trace-out FILE enables the process-wide tracer and
+// dumps the recorded spans as ldjson to FILE on exit (most recent
+// obs::Tracer::kDefaultCapacity spans).
+//
+// See README.md "Serving" and "Observability" for schemas.
 
 #include <cstring>
 #include <fstream>
@@ -26,6 +31,8 @@
 
 #include "common/rng.h"
 #include "gen/generator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "program/library.h"
 #include "serve/engine.h"
 #include "serve/server.h"
@@ -117,12 +124,31 @@ Status WriteFile(const std::string& path, const std::string& content) {
   return Status::OK();
 }
 
+/// --trace-out FILE: switch on the process-wide tracer up front. Returns
+/// the dump path ("" = tracing off).
+std::string MaybeEnableTracing(
+    const std::map<std::string, std::string>& flags) {
+  auto it = flags.find("trace-out");
+  if (it == flags.end()) return "";
+  obs::Tracer::Default().set_enabled(true);
+  return it->second;
+}
+
+int DumpTrace(const std::string& path) {
+  Status s = WriteFile(path, obs::Tracer::Default().ToLdjson());
+  if (!s.ok()) return Fail(s.ToString());
+  std::cerr << "wrote " << obs::Tracer::Default().size() << " spans to "
+            << path << "\n";
+  return 0;
+}
+
 int RunTrain(const std::map<std::string, std::string>& flags) {
   auto out_it = flags.find("out_dir");
   if (out_it == flags.end()) {
     return Fail("train requires --out_dir <directory>");
   }
   const std::string out_dir = out_it->second;
+  std::string trace_path = MaybeEnableTracing(flags);
   Rng rng(FlagSize(flags, "seed", 42));
   size_t samples_per_table = FlagSize(flags, "samples_per_table", 60);
   static const TemplateLibrary& library = TemplateLibrary::Builtin();
@@ -162,6 +188,10 @@ int RunTrain(const std::map<std::string, std::string>& flags) {
   if (!s.ok()) return Fail(s.ToString());
   std::cerr << "wrote " << out_dir << "/verifier.weights.txt and "
             << out_dir << "/qa.weights.txt\n";
+  if (flags.count("metrics") != 0) {
+    std::cerr << obs::DefaultRegistry().ExpositionText();
+  }
+  if (!trace_path.empty()) return DumpTrace(trace_path);
   return 0;
 }
 
@@ -183,6 +213,7 @@ int RunServe(const std::map<std::string, std::string>& flags) {
                                                verifier_weights, qa_weights);
   if (!engine.ok()) return Fail(engine.status().ToString());
 
+  std::string trace_path = MaybeEnableTracing(flags);
   serve::ServerConfig server_config;
   server_config.scheduler.num_workers = FlagSize(flags, "workers", 4);
   server_config.scheduler.queue_capacity = FlagSize(flags, "queue", 256);
@@ -206,6 +237,7 @@ int RunServe(const std::map<std::string, std::string>& flags) {
   if (flags.count("metrics") != 0) {
     std::cerr << server.metrics()->ExpositionText();
   }
+  if (!trace_path.empty()) return DumpTrace(trace_path);
   return 0;
 }
 

@@ -6,12 +6,31 @@
 #include <unordered_set>
 
 #include "common/numeric.h"
+#include "obs/metrics.h"
 #include "sql/parser.h"
 #include "table/index.h"
 
 namespace uctr::sql {
 
 namespace {
+
+/// Executor instruments, resolved once (thread-safe function-local
+/// statics) so the per-query cost is relaxed atomic adds. Row work is
+/// accumulated locally per query and added in one shot.
+struct SqlInstruments {
+  obs::Counter* exec_indexed;
+  obs::Counter* exec_scan;
+  obs::Counter* rows_scanned;
+  static const SqlInstruments& Get() {
+    static const SqlInstruments inst = [] {
+      obs::MetricsRegistry& r = obs::DefaultRegistry();
+      return SqlInstruments{r.counter("sql_exec_total{path=\"indexed\"}"),
+                            r.counter("sql_exec_total{path=\"scan\"}"),
+                            r.counter("sql_rows_scanned_total")};
+    }();
+    return inst;
+  }
+};
 
 bool EvalCondition(const Condition& cond, const Value& cell) {
   if (cell.is_null()) return false;
@@ -60,7 +79,8 @@ bool EvalConditionIndexed(const TableIndex::Column& col, size_t r, CmpOp op,
 /// it). Equality against a non-numeric literal uses the hash index.
 Result<std::vector<size_t>> FilterIndexed(const std::vector<Condition>& where,
                                           const Table& table,
-                                          const TableIndex& index) {
+                                          const TableIndex& index,
+                                          size_t* rows_scanned) {
   std::vector<size_t> rows(table.num_rows());
   std::iota(rows.begin(), rows.end(), size_t{0});
   for (const Condition& cond : where) {
@@ -72,12 +92,14 @@ Result<std::vector<size_t>> FilterIndexed(const std::vector<Condition>& where,
     if (cond.op == CmpOp::kEq && !lit.null && !lit.numeric) {
       auto hit = col.by_text.find(lit.norm);
       if (hit != col.by_text.end()) {
-        // Both lists are ascending: intersect directly.
+        // Both lists are ascending: intersect directly. No per-row cell
+        // evaluation happens, so nothing is added to rows_scanned.
         std::set_intersection(rows.begin(), rows.end(), hit->second.begin(),
                               hit->second.end(), std::back_inserter(kept));
       }
     } else {
       kept.reserve(rows.size());
+      *rows_scanned += rows.size();
       for (size_t r : rows) {
         if (EvalConditionIndexed(col, r, cond.op, lit)) kept.push_back(r);
       }
@@ -219,12 +241,17 @@ Result<Value> EvalAggregateIndexed(const SelectItem& item, const Table& table,
 Result<ExecResult> Execute(const SelectStatement& stmt, const Table& table,
                            const ExecOptions& opts) {
   const TableIndex* index = opts.use_index ? &table.index() : nullptr;
+  const SqlInstruments& inst = SqlInstruments::Get();
+  (index ? inst.exec_indexed : inst.exec_scan)->Increment();
+  size_t rows_scanned = 0;
 
   // 1. Filter.
   std::vector<size_t> rows;
   if (index) {
-    UCTR_ASSIGN_OR_RETURN(rows, FilterIndexed(stmt.where, table, *index));
+    UCTR_ASSIGN_OR_RETURN(
+        rows, FilterIndexed(stmt.where, table, *index, &rows_scanned));
   } else {
+    rows_scanned = table.num_rows();
     for (size_t r = 0; r < table.num_rows(); ++r) {
       bool keep = true;
       for (const Condition& cond : stmt.where) {
@@ -237,6 +264,7 @@ Result<ExecResult> Execute(const SelectStatement& stmt, const Table& table,
       if (keep) rows.push_back(r);
     }
   }
+  inst.rows_scanned->Increment(rows_scanned);
 
   // 2. Order.
   if (stmt.order_by) {

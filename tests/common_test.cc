@@ -135,11 +135,30 @@ TEST(NumericTest, ParsesMessyFinancialText) {
   EXPECT_DOUBLE_EQ(*ParseNumber("(1,234)"), -1234.0);
 }
 
+// Regression test: the sign used to be stripped by strtod AFTER the
+// currency/percent strips, so signed currency and percent forms were
+// rejected outright.
+TEST(NumericTest, ParsesSignedCurrencyAndPercent) {
+  EXPECT_DOUBLE_EQ(*ParseNumber("-$5"), -5.0);
+  EXPECT_DOUBLE_EQ(*ParseNumber("-€1,200"), -1200.0);
+  EXPECT_DOUBLE_EQ(*ParseNumber("+3%"), 3.0);
+  EXPECT_DOUBLE_EQ(*ParseNumber("- $7.25"), -7.25);
+  EXPECT_DOUBLE_EQ(*ParseNumber("+US$40"), 40.0);
+  // The sign composes with the accounting parentheses exactly as the
+  // pre-fix strtod path did: "(-5)" is (-1) * (-5) = +5.
+  EXPECT_DOUBLE_EQ(*ParseNumber("(-5)"), 5.0);
+  EXPECT_DOUBLE_EQ(*ParseNumber("($1,000)"), -1000.0);
+}
+
 TEST(NumericTest, RejectsNonNumbers) {
   EXPECT_FALSE(ParseNumber("hello").has_value());
   EXPECT_FALSE(ParseNumber("").has_value());
   EXPECT_FALSE(ParseNumber("12abc").has_value());
   EXPECT_FALSE(ParseNumber(",12").has_value());  // comma without digit before
+  EXPECT_FALSE(ParseNumber("--5").has_value());  // at most one explicit sign
+  EXPECT_FALSE(ParseNumber("+-5").has_value());
+  EXPECT_FALSE(ParseNumber("-").has_value());
+  EXPECT_FALSE(ParseNumber("-$").has_value());
 }
 
 TEST(NumericTest, FormatNumberCompact) {

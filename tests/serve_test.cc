@@ -11,8 +11,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/engine.h"
-#include "serve/metrics.h"
 #include "serve/result_cache.h"
 #include "serve/scheduler.h"
 #include "serve/server.h"
@@ -263,6 +263,54 @@ TEST(OrderedResponseWriterTest, FlushesInSequenceOrder) {
   EXPECT_EQ(out, (std::vector<std::string>{"zero", "one", "two"}));
 }
 
+// Regression test: Write used to invoke the sink while holding the
+// writer's (non-recursive) mutex, so a sink that re-enters Write —
+// e.g. an inline cache-hit response produced while flushing — deadlocked.
+TEST(OrderedResponseWriterTest, ReentrantSinkDoesNotDeadlock) {
+  std::vector<std::string> out;
+  OrderedResponseWriter* writer_ptr = nullptr;
+  uint64_t reentrant_seq = 0;
+  bool reentered = false;
+  OrderedResponseWriter writer([&](const std::string& s) {
+    out.push_back(s);
+    if (!reentered) {
+      reentered = true;
+      // Deadlocks (and the test times out) if the lock is still held.
+      writer_ptr->Write(reentrant_seq, "one-from-sink");
+    }
+  });
+  writer_ptr = &writer;
+  uint64_t s0 = writer.NextSequence();
+  reentrant_seq = writer.NextSequence();
+  writer.Write(s0, "zero");
+  EXPECT_EQ(out, (std::vector<std::string>{"zero", "one-from-sink"}));
+}
+
+// The sink contract: lines arrive exactly once and in sequence order even
+// when many threads complete out of order concurrently.
+TEST(OrderedResponseWriterTest, ConcurrentWritesStayOrdered) {
+  constexpr int kLines = 256;
+  std::vector<std::string> out;
+  OrderedResponseWriter writer([&out](const std::string& s) {
+    out.push_back(s);  // Serialized by the writer's flushing protocol.
+  });
+  std::vector<uint64_t> seqs;
+  for (int i = 0; i < kLines; ++i) seqs.push_back(writer.NextSequence());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&writer, &seqs, t] {
+      for (int i = t; i < kLines; i += 8) {
+        writer.Write(seqs[i], std::to_string(i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_EQ(out.size(), static_cast<size_t>(kLines));
+  for (int i = 0; i < kLines; ++i) {
+    EXPECT_EQ(out[i], std::to_string(i));
+  }
+}
+
 // ------------------------------------------------------- Engine + Server
 
 const char* kMedalsCsv =
@@ -378,8 +426,34 @@ TEST(ServerTest, PingAndMetricsOps) {
   EXPECT_NE(metrics.find("requests_total"), std::string::npos);
 }
 
-TEST(ServerTest, RepeatedRequestIsServedFromCache) {
+TEST(ServerTest, StatsOpReturnsPopulatedJson) {
+  MetricsRegistry metrics;
   ServerConfig config;
+  config.metrics = &metrics;
+  config.scheduler.num_workers = 1;
+  Server server(&SharedEngine(), config);
+  // One real request so the stats carry non-trivial values.
+  server.HandleLine(VerifyRequest(
+      1, kMedalsCsv, "The gold of the row whose nation is japan is 5."));
+
+  std::string stats = server.HandleLine("{\"op\":\"stats\",\"id\":42}");
+  EXPECT_NE(stats.find("\"id\":42"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"status\":\"ok\""), std::string::npos) << stats;
+  // 2 = the verify request plus the stats request itself.
+  EXPECT_NE(stats.find("\"requests_total\":2"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"cache_misses_total\":1"), std::string::npos)
+      << stats;
+  EXPECT_NE(stats.find("\"workers\":1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"execute_p50_us\":"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"queue_depth\":"), std::string::npos) << stats;
+}
+
+TEST(ServerTest, RepeatedRequestIsServedFromCache) {
+  // Exact-count assertions need a registry isolated from the process-wide
+  // default that other tests (and library code) share.
+  MetricsRegistry metrics;
+  ServerConfig config;
+  config.metrics = &metrics;
   config.scheduler.num_workers = 1;
   Server server(&SharedEngine(), config);
   std::string request = VerifyRequest(
@@ -400,7 +474,9 @@ TEST(ServerTest, RepeatedRequestIsServedFromCache) {
 }
 
 TEST(ServerTest, QueueFullRequestsAreRejected) {
+  MetricsRegistry metrics;
   ServerConfig config;
+  config.metrics = &metrics;
   config.scheduler.num_workers = 1;
   config.scheduler.queue_capacity = 1;
   Server server(&SharedEngine(), config);
@@ -465,6 +541,26 @@ TEST(ServerTest, ExpiredDeadlinesReportTimeout) {
   }
   EXPECT_TRUE(saw_timeout)
       << "a request with an expired deadline must report status=timeout";
+}
+
+// Regression test: a huge client-supplied timeout_ms used to overflow the
+// int64 microsecond cast (UB) and could wrap to a deadline in the past,
+// instantly expiring the request. Out-of-range timeouts now mean "no
+// deadline" and the request completes normally.
+TEST(ServerTest, HugeTimeoutRunsWithoutDeadline) {
+  ServerConfig config;
+  config.scheduler.num_workers = 1;
+  Server server(&SharedEngine(), config);
+  for (const char* timeout : {"1e18", "1e308"}) {
+    std::string request =
+        "{\"id\":5,\"op\":\"verify\",\"table\":\"" +
+        JsonEscapeNewlines(kMedalsCsv) +
+        "\",\"query\":\"The gold of the row whose nation is japan is 5.\","
+        "\"timeout_ms\":" + std::string(timeout) + "}";
+    std::string response = server.HandleLine(request);
+    EXPECT_NE(response.find("\"status\":\"ok\""), std::string::npos)
+        << "timeout_ms=" << timeout << " -> " << response;
+  }
 }
 
 // The multi-threaded smoke test of the satellite checklist: the same
