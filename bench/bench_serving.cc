@@ -18,6 +18,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <mutex>
 #include <string>
@@ -26,6 +27,7 @@
 
 #include "bench/harness.h"
 #include "common/rng.h"
+#include "fault/fault.h"
 #include "gen/generator.h"
 #include "program/library.h"
 #include "serve/engine.h"
@@ -128,7 +130,33 @@ std::string Fixed(double v, int decimals = 1) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --fault-spec SPEC [--fault-seed N]: run the whole bench with the
+  // deterministic fault injector armed, to measure the latency/throughput
+  // cost of degraded operation (scan fallback, cache bypass, retries).
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* what) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_serving: " << what << " needs a value\n";
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--fault-spec") {
+      Status s = fault::FaultInjector::Global().ArmSpec(value("--fault-spec"));
+      if (!s.ok()) {
+        std::cerr << "bench_serving: " << s.ToString() << "\n";
+        return 1;
+      }
+    } else if (arg == "--fault-seed") {
+      fault::FaultInjector::Global().Seed(std::stoull(value("--fault-seed")));
+    } else {
+      std::cerr << "bench_serving: unknown flag " << arg
+                << " (--fault-spec SPEC, --fault-seed N)\n";
+      return 1;
+    }
+  }
   // Train once through the same path `uctr_serve train` uses, so the
   // bench serves real weights rather than zero-initialized models.
   Rng rng(42);

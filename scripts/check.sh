@@ -9,6 +9,9 @@
 #   scripts/check.sh                        # ASan+UBSan, full suite
 #   scripts/check.sh serve_test             # one test binary (ctest -R
 #                                           # matches gtest names)
+#   scripts/check.sh faults                 # chaos mode: fault_test +
+#                                           # fuzz_test + a uctr_serve
+#                                           # --fault-spec drill
 #   UCTR_SANITIZE=thread scripts/check.sh   # TSan, full suite
 #   UCTR_SANITIZE=thread scripts/check.sh index_test serve_test
 set -euo pipefail
@@ -47,6 +50,29 @@ else
 fi
 
 cd "$BUILD_DIR"
+if [[ "${1:-}" == faults ]]; then
+  # Chaos mode: the fault-injection/resilience suite and the input fuzzer
+  # under the configured sanitizer, then a bounded chaos drill of the real
+  # uctr_serve binary with a mixed fault schedule armed (errors, latency
+  # spikes, transient faults). The drill must exit 0 — degraded, never
+  # dead — and every request must get a response line.
+  ./tests/fault_test
+  ./tests/fuzz_test
+  REQUESTS=$(for i in $(seq 1 20); do
+    printf '{"id":%d,"op":"verify","table":"a,b\\n1,2\\n3,4\\n","query":"The a of the row whose b is 2 is 1."}\n' "$i"
+  done)
+  RESPONSES=$(printf '%s\n' "$REQUESTS" | ./src/serve/uctr_serve serve \
+    --workers 4 --fault-spec \
+    'serve.index_warm=error:p=0.5;serve.cache_get=error:p=0.3;serve.table_parse=error(unavailable):n=5;sched.dequeue=latency(2):p=0.3' \
+    --fault-seed 7)
+  GOT=$(printf '%s\n' "$RESPONSES" | grep -c '"id"')
+  if [[ "$GOT" -ne 20 ]]; then
+    echo "chaos drill: expected 20 responses, got $GOT" >&2
+    exit 1
+  fi
+  echo "fault/chaos ($SANITIZE) check passed"
+  exit 0
+fi
 if [[ $# -gt 0 ]]; then
   # Run the named test binaries directly (faster than ctest discovery
   # when iterating on one suite).

@@ -74,6 +74,16 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// \brief True for failures that may succeed on retry: kUnavailable
+  /// (backpressure, resource exhaustion) and kDeadlineExceeded. Everything
+  /// else — malformed input, type errors, invariant violations — is
+  /// permanent; retrying cannot fix it. Retry/resilience policies
+  /// (src/fault/policy.h) gate on this instead of ad-hoc code checks.
+  bool IsTransient() const {
+    return code_ == StatusCode::kUnavailable ||
+           code_ == StatusCode::kDeadlineExceeded;
+  }
+
   /// \brief "OK" or "<CodeName>: <message>".
   std::string ToString() const;
 
@@ -81,6 +91,10 @@ class Status {
   StatusCode code_;
   std::string message_;
 };
+
+/// \brief Free-function form of Status::IsTransient (reads better at call
+/// sites that hold a Status expression).
+inline bool IsTransient(const Status& status) { return status.IsTransient(); }
 
 inline bool operator==(const Status& a, const Status& b) {
   return a.code() == b.code() && a.message() == b.message();

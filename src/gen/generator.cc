@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/string_util.h"
+#include "fault/fault.h"
 
 namespace uctr {
 
@@ -43,6 +44,7 @@ Generator::Generator(GenerationConfig config, const TemplateLibrary* library,
   inst_.duplicates =
       registry.counter("gen_discards_total{reason=\"Duplicate\"}");
   inst_.exhausted = registry.counter("gen_slots_exhausted_total");
+  inst_.quarantined = registry.counter("gen_templates_quarantined_total");
   inst_.sample_us = registry.histogram("latency_gen_sample_us");
   inst_.table_us = registry.histogram("latency_gen_table_us");
   inst_.template_attempts.reserve(active_templates_.size());
@@ -86,16 +88,38 @@ Result<std::string> Generator::RealizeSentence(const Program& program) {
   return nl_generator_.Generate(program, rng_);
 }
 
-Result<Sample> Generator::TryGenerate(const TableWithText& input) {
+Result<Sample> Generator::TryGenerate(const TableWithText& input,
+                                      const std::vector<char>& quarantined,
+                                      size_t* used_template) {
   if (active_templates_.empty()) {
     return Status::InvalidArgument("no templates for configured task");
   }
-  size_t tmpl_index = rng_->WeightedIndex(template_weights_);
+  size_t tmpl_index;
+  bool any_quarantined =
+      std::find(quarantined.begin(), quarantined.end(),
+                static_cast<char>(1)) != quarantined.end();
+  if (!any_quarantined) {
+    tmpl_index = rng_->WeightedIndex(template_weights_);
+  } else {
+    // Mask poisoned templates out of the draw. Only taken once something
+    // is actually quarantined, so the healthy path consumes the exact
+    // same rng sequence as builds without quarantine.
+    std::vector<double> masked = template_weights_;
+    for (size_t t = 0; t < masked.size(); ++t) {
+      if (quarantined[t]) masked[t] = 0.0;
+    }
+    tmpl_index = rng_->WeightedIndex(masked);
+  }
+  if (used_template != nullptr) *used_template = tmpl_index;
   const ProgramTemplate& tmpl = active_templates_[tmpl_index];
   inst_.attempts->Increment();
   inst_.template_attempts[tmpl_index]->Increment();
   obs::Span attempt_span = tracer_->StartSpan("gen.attempt");
   attempt_span.AddAttr("reasoning_type", tmpl.reasoning_type);
+  // Chaos hook: an injected fault here stands in for a crashing template
+  // executor; it is discarded (and quarantine-counted) like any organic
+  // failure of this template.
+  UCTR_RETURN_NOT_OK(UCTR_FAULT_POINT("gen.attempt"));
 
   // Choose the pipeline for this sample up front (Figure 3): plain
   // table-only generation, table splitting, or table expansion.
@@ -194,18 +218,39 @@ std::vector<Sample> Generator::GenerateFromTable(const TableWithText& input) {
   auto table_started = std::chrono::steady_clock::now();
   std::vector<Sample> out;
   std::set<std::string> seen_sentences;
+  // Poison-template quarantine bookkeeping (see
+  // GenerationConfig::quarantine_after). Empty vectors when disabled.
+  std::vector<char> quarantined(
+      config_.quarantine_after > 0 ? active_templates_.size() : 0, 0);
+  std::vector<size_t> consecutive_failures(quarantined.size(), 0);
+  size_t num_quarantined = 0;
   for (size_t i = 0; i < config_.samples_per_table; ++i) {
     auto slot_started = std::chrono::steady_clock::now();
     bool emitted = false;
     for (size_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
-      Result<Sample> r = TryGenerate(input);
+      if (!quarantined.empty() && num_quarantined == quarantined.size()) {
+        break;  // every template is poisoned for this table
+      }
+      size_t used_template = 0;
+      Result<Sample> r = TryGenerate(input, quarantined, &used_template);
       if (!r.ok()) {
         size_t code = static_cast<size_t>(r.status().code());
         if (code < inst_.discards_by_code.size()) {
           inst_.discards_by_code[code]->Increment();
         }
+        if (!quarantined.empty() && !quarantined[used_template] &&
+            ++consecutive_failures[used_template] >=
+                config_.quarantine_after) {
+          quarantined[used_template] = 1;
+          ++num_quarantined;
+          inst_.quarantined->Increment();
+        }
         continue;
       }
+      // A successful attempt clears the template's failure streak — even
+      // if the sentence turns out to be a duplicate (duplication is a
+      // diversity problem, not a poison signal).
+      if (!quarantined.empty()) consecutive_failures[used_template] = 0;
       if (!seen_sentences.insert(r->sentence).second) {  // dup
         inst_.duplicates->Increment();
         continue;

@@ -66,6 +66,14 @@ struct GenerationConfig {
   /// synthetic sampling only approximates — one source of the paper's
   /// supervised/unsupervised gap.
   std::map<std::string, double> reasoning_weights;
+
+  /// Poison-template quarantine: a template that fails this many attempts
+  /// IN A ROW on one table is skipped for the remainder of that table, so
+  /// a template that cannot instantiate on a given schema does not eat the
+  /// whole attempt budget. 0 disables quarantine (the default — with it
+  /// disabled the sampling sequence is byte-identical to older builds).
+  /// State is per-table: the next table probes the template again.
+  size_t quarantine_after = 0;
 };
 
 /// \brief Appends evidence-swapped Unknown/NEI samples to `dataset`
@@ -96,7 +104,13 @@ class Generator {
 
  private:
   /// One attempt at a sample; error Status means "discard and retry".
-  Result<Sample> TryGenerate(const TableWithText& input);
+  /// `quarantined` (empty = quarantine disabled) masks poisoned templates
+  /// out of the weighted draw; the chosen template index is written to
+  /// `used_template` (when non-null) even on failure, so the caller can
+  /// attribute the failure for quarantine accounting.
+  Result<Sample> TryGenerate(const TableWithText& input,
+                             const std::vector<char>& quarantined,
+                             size_t* used_template);
 
   /// Builds the program (+answer/label) on `table`.
   Result<SampledProgram> SampleProgram(const Table& table,
@@ -113,6 +127,7 @@ class Generator {
     obs::Counter* emitted;          ///< gen_samples_total
     obs::Counter* duplicates;       ///< gen_discards_total{reason="Duplicate"}
     obs::Counter* exhausted;        ///< gen_slots_exhausted_total
+    obs::Counter* quarantined;      ///< gen_templates_quarantined_total
     obs::Histogram* sample_us;      ///< latency_gen_sample_us (per emitted)
     obs::Histogram* table_us;       ///< latency_gen_table_us (per input)
     /// Attempts by template reasoning type, parallel to active_templates_.

@@ -2,8 +2,10 @@
 #define UCTR_GEN_PARALLEL_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "gen/generator.h"
 #include "program/library.h"
 
@@ -23,6 +25,58 @@ Dataset GenerateDatasetParallel(const GenerationConfig& config,
                                 const TemplateLibrary* library,
                                 const std::vector<TableWithText>& corpus,
                                 uint64_t base_seed, size_t num_threads);
+
+/// \brief Crash-safe checkpointing knobs for GenerateDatasetCheckpointed.
+struct CheckpointOptions {
+  /// Directory holding the checkpoint state: one `shard-<i>.jsonl` per
+  /// completed corpus entry, a `MANIFEST`, and an append-only
+  /// `attempts.log`. Created if missing.
+  std::string directory;
+  /// Poison-shard quarantine: a shard whose generation was *begun* (per
+  /// attempts.log) in this many runs without ever completing is marked
+  /// poisoned on the next resume and skipped — a shard that crashes the
+  /// process cannot wedge the job forever. 0 disables quarantine.
+  size_t quarantine_after = 3;
+  /// Stop after persisting this many new shards (0 = no limit). Lets
+  /// incremental jobs — and the kill/resume tests — run the generation in
+  /// bounded slices that later resume byte-identically.
+  size_t max_shards_this_run = 0;
+};
+
+/// \brief What a checkpointed run did; every count is in shards
+/// (= corpus entries).
+struct CheckpointReport {
+  size_t total = 0;       ///< corpus entries
+  size_t resumed = 0;     ///< loaded from shard files written by prior runs
+  size_t generated = 0;   ///< newly generated and persisted this run
+  size_t failed = 0;      ///< attempted this run but not persisted (faults)
+  size_t poisoned = 0;    ///< quarantined, this run or previously
+  size_t skipped = 0;     ///< left for a later run (max_shards_this_run)
+  bool complete = false;  ///< every shard done; Unknown post-pass applied
+};
+
+/// \brief GenerateDatasetParallel with crash-safe checkpoint/resume.
+///
+/// Each completed corpus entry is persisted as `shard-<i>.jsonl`
+/// (write-to-temp + atomic rename) and recorded in an atomically rewritten
+/// `MANIFEST` keyed by (base_seed, corpus fingerprint); a run that is
+/// killed mid-way resumes from the manifest and — because every shard is
+/// seeded `base_seed + i` exactly as in GenerateDatasetParallel — the
+/// finished dataset is byte-identical to a single uninterrupted run at any
+/// thread count and any kill/resume schedule. A checkpoint directory whose
+/// manifest disagrees with (seed, corpus) is rejected with
+/// kInvalidArgument rather than silently mixing datasets.
+///
+/// The Unknown-label post-pass needs the complete dataset, so it runs only
+/// when the final shard lands (`report->complete`). Partial runs return
+/// the samples persisted so far.
+///
+/// \param report optional; filled with what this run did.
+Result<Dataset> GenerateDatasetCheckpointed(
+    const GenerationConfig& config, const TemplateLibrary* library,
+    const std::vector<TableWithText>& corpus, uint64_t base_seed,
+    size_t num_threads, const CheckpointOptions& checkpoint,
+    CheckpointReport* report = nullptr);
 
 }  // namespace uctr
 

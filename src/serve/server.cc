@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/json.h"
+#include "fault/fault.h"
 
 namespace uctr::serve {
 
@@ -14,12 +15,18 @@ namespace {
 
 std::string ResponseLine(uint64_t id, const std::string& status,
                          const std::string& field_name,
-                         const std::string& field_value) {
+                         const std::string& field_value,
+                         bool degraded = false) {
   std::string out = "{\"id\":" + std::to_string(id) +
                     ",\"status\":" + json::Quote(status);
   if (!field_name.empty()) {
     out += "," + json::Quote(field_name) + ":" + json::Quote(field_value);
   }
+  // Degraded responses carry the same answer bytes as the healthy path
+  // (scan execution is bit-identical; cache bypass recomputes the same
+  // body) plus this marker, so clients can see they were served by a
+  // fallback.
+  if (degraded) out += ",\"degraded\":true";
   out += "}";
   return out;
 }
@@ -65,11 +72,19 @@ Server::Server(const InferenceEngine* engine, ServerConfig config)
                                        : &obs::Tracer::Default()),
       cache_(config.cache_capacity, config.cache_shards, metrics_),
       scheduler_(config.scheduler, metrics_),
+      retry_(config.retry, /*seed=*/0x5EEDULL, metrics_),
+      index_breaker_("index", config.breaker, metrics_),
+      cache_breaker_("cache", config.breaker, metrics_),
       requests_total_(metrics_->counter("requests_total")),
       responses_ok_(metrics_->counter("responses_ok_total")),
       responses_rejected_(metrics_->counter("responses_rejected_total")),
       responses_timeout_(metrics_->counter("responses_timeout_total")),
       responses_error_(metrics_->counter("responses_error_total")),
+      responses_degraded_(metrics_->counter("responses_degraded_total")),
+      degraded_index_fallback_(
+          metrics_->counter("degraded_index_fallback_total")),
+      degraded_cache_bypass_(
+          metrics_->counter("degraded_cache_bypass_total")),
       execute_us_(metrics_->histogram("latency_execute_us")),
       table_parse_us_(metrics_->histogram("latency_table_parse_us")),
       index_warm_us_(metrics_->histogram("latency_index_warm_us")) {}
@@ -142,17 +157,33 @@ void Server::SubmitLine(const std::string& line,
   // Cache probe on the raw evidence text: no parsing on the hit path.
   // Paragraph sentences are part of the evidence, so they join the
   // fingerprint (same claim + same table + different text may differ).
+  // An injected cache fault (or an open cache breaker) degrades the
+  // request to cache bypass: the worker recomputes the identical body.
   uint64_t fp = ResultCache::FingerprintCsv(*csv);
   for (const std::string& sentence : paragraph) {
     fp = ResultCache::FingerprintCsv(sentence) ^ (fp * 1099511628211ull);
   }
   std::string cache_key = op + "\x1f" + ResultCache::NormalizeQuery(*query);
-  if (auto hit = cache_.Get(fp, cache_key)) {
-    // Rewrite the id: the cached body is id-independent.
-    responses_ok_->Increment();
-    done(ResponseLine(id, "ok", op == "verify" ? "label" : "answer", *hit));
-    return;
+  bool cache_bypassed = false;
+  if (cache_breaker_.Allow()) {
+    Status cache_fault = UCTR_FAULT_POINT("serve.cache_get");
+    if (cache_fault.ok()) {
+      cache_breaker_.RecordSuccess();
+      if (auto hit = cache_.Get(fp, cache_key)) {
+        // Rewrite the id: the cached body is id-independent.
+        responses_ok_->Increment();
+        done(ResponseLine(id, "ok", op == "verify" ? "label" : "answer",
+                          *hit));
+        return;
+      }
+    } else {
+      cache_breaker_.RecordFailure();
+      cache_bypassed = true;
+    }
+  } else {
+    cache_bypassed = true;
   }
+  if (cache_bypassed) degraded_cache_bypass_->Increment();
 
   double timeout_ms = json::GetNumberOr(
       obj, "timeout_ms", static_cast<double>(config_.default_timeout_ms));
@@ -174,7 +205,7 @@ void Server::SubmitLine(const std::string& line,
   auto submitted_at = Scheduler::Clock::now();
   job.run = [this, id, op, csv = std::move(*csv),
              query = std::move(*query), paragraph = std::move(paragraph),
-             fp, cache_key, shared_done, submitted_at] {
+             fp, cache_key, cache_bypassed, shared_done, submitted_at] {
     if (config_.pre_execute_hook) config_.pre_execute_hook();
     auto started = Scheduler::Clock::now();
     obs::Span request_span = tracer_->StartSpan("serve.request");
@@ -184,31 +215,75 @@ void Server::SubmitLine(const std::string& line,
         std::to_string(std::chrono::duration_cast<std::chrono::microseconds>(
                            started - submitted_at)
                            .count()));
-    Result<Table> table = [&] {
+    bool degraded = cache_bypassed;
+    // Table parse, retried on transient faults only: an organic CSV error
+    // is permanent (retrying cannot fix malformed evidence) and fails the
+    // attempt loop on its first pass.
+    Result<Table> table = Status::Unavailable("table parse never ran");
+    Status parse_status = retry_.Run("serve.table_parse", [&] {
       obs::Span parse_span = tracer_->StartSpan("serve.table_parse");
-      auto parsed = Table::FromCsv(csv);
+      auto parse_started = Scheduler::Clock::now();
+      Status fault = UCTR_FAULT_POINT("serve.table_parse");
+      if (fault.ok()) {
+        table = Table::FromCsv(csv);
+      } else {
+        table = fault;
+      }
       table_parse_us_->Observe(std::chrono::duration<double, std::micro>(
-                                   Scheduler::Clock::now() - started)
+                                   Scheduler::Clock::now() - parse_started)
                                    .count());
-      return parsed;
-    }();
-    if (!table.ok()) {
+      return table.status();
+    });
+    if (!parse_status.ok()) {
       responses_error_->Increment();
       request_span.AddAttr("error", "table_parse");
       (*shared_done)(ResponseLine(id, "error", "error",
-                                  "table: " + table.status().ToString()));
+                                  "table: " + parse_status.ToString()));
       return;
     }
     {
       // Build the per-table index once at load; moving the table into
       // the engine carries it through every template execution of the
-      // request.
+      // request. An index-warm fault — or an index breaker opened by
+      // earlier faults — degrades this request to the bit-identical scan
+      // path (use_index=false semantics) instead of failing it.
       obs::Span warm_span = tracer_->StartSpan("serve.index_warm");
       auto warm_started = Scheduler::Clock::now();
-      table->WarmIndex();
+      bool index_degraded = false;
+      if (index_breaker_.Allow()) {
+        Status warm_fault = UCTR_FAULT_POINT("serve.index_warm");
+        if (warm_fault.ok()) {
+          table->WarmIndex();
+          index_breaker_.RecordSuccess();
+        } else {
+          index_breaker_.RecordFailure();
+          index_degraded = true;
+        }
+      } else {
+        index_degraded = true;
+      }
+      if (index_degraded) {
+        table->set_index_enabled(false);
+        degraded_index_fallback_->Increment();
+        warm_span.AddAttr("degraded", "scan_fallback");
+        degraded = true;
+      }
       index_warm_us_->Observe(std::chrono::duration<double, std::micro>(
                                   Scheduler::Clock::now() - warm_started)
                                   .count());
+    }
+    // Execute-stage dependency faults are retried like parse faults; if
+    // the fault persists past the retry budget the request errors (there
+    // is no cheaper path to fall back to below inference itself).
+    Status exec_fault = retry_.Run("serve.execute", [&] {
+      return UCTR_FAULT_POINT("serve.execute");
+    });
+    if (!exec_fault.ok()) {
+      responses_error_->Increment();
+      request_span.AddAttr("error", "execute");
+      (*shared_done)(ResponseLine(id, "error", "error",
+                                  "execute: " + exec_fault.ToString()));
+      return;
     }
     std::string body;
     {
@@ -221,13 +296,33 @@ void Server::SubmitLine(const std::string& line,
                                Scheduler::Clock::now() - exec_started)
                                .count());
     }
-    {
+    if (!cache_bypassed) {
+      // Cache-fill faults also degrade to bypass: the response is already
+      // computed, only future hits are lost.
       obs::Span put_span = tracer_->StartSpan("serve.cache_put");
-      cache_.Put(fp, cache_key, body);
+      bool put_bypassed = false;
+      if (cache_breaker_.Allow()) {
+        Status put_fault = UCTR_FAULT_POINT("serve.cache_put");
+        if (put_fault.ok()) {
+          cache_.Put(fp, cache_key, body);
+          cache_breaker_.RecordSuccess();
+        } else {
+          cache_breaker_.RecordFailure();
+          put_bypassed = true;
+        }
+      } else {
+        put_bypassed = true;
+      }
+      if (put_bypassed) {
+        degraded_cache_bypass_->Increment();
+        degraded = true;
+      }
     }
     responses_ok_->Increment();
-    (*shared_done)(
-        ResponseLine(id, "ok", op == "verify" ? "label" : "answer", body));
+    if (degraded) responses_degraded_->Increment();
+    (*shared_done)(ResponseLine(id, "ok",
+                                op == "verify" ? "label" : "answer", body,
+                                degraded));
   };
   job.on_expired = [this, id, shared_done] {
     responses_timeout_->Increment();
@@ -235,11 +330,23 @@ void Server::SubmitLine(const std::string& line,
         ResponseLine(id, "timeout", "error", "deadline expired in queue"));
   };
 
-  Status submitted = scheduler_.Submit(std::move(job));
+  // Admission itself is an injection site (stands in for a faulted front
+  // door / listener); injected faults behave exactly like scheduler
+  // rejections.
+  Status submitted = UCTR_FAULT_POINT("serve.submit");
+  if (submitted.ok()) submitted = scheduler_.Submit(std::move(job));
   if (!submitted.ok()) {
-    responses_rejected_->Increment();
-    (*shared_done)(ResponseLine(id, "rejected", "error",
-                                submitted.message()));
+    if (submitted.code() == StatusCode::kDeadlineExceeded) {
+      // Deadline-aware admission control shed the job before it queued:
+      // answer "timeout" (the deadline is the reason), not "rejected".
+      responses_timeout_->Increment();
+      (*shared_done)(
+          ResponseLine(id, "timeout", "error", submitted.message()));
+    } else {
+      responses_rejected_->Increment();
+      (*shared_done)(ResponseLine(id, "rejected", "error",
+                                  submitted.message()));
+    }
   }
 }
 
@@ -253,6 +360,12 @@ std::string Server::StatsJson() const {
   out += ",\"responses_error_total\":" + count("responses_error_total");
   out += ",\"responses_rejected_total\":" + count("responses_rejected_total");
   out += ",\"responses_timeout_total\":" + count("responses_timeout_total");
+  out += ",\"responses_degraded_total\":" + count("responses_degraded_total");
+  out += ",\"degraded_index_fallback_total\":" +
+         count("degraded_index_fallback_total");
+  out += ",\"degraded_cache_bypass_total\":" +
+         count("degraded_cache_bypass_total");
+  out += ",\"jobs_shed_deadline_total\":" + count("jobs_shed_deadline_total");
   out += ",\"cache_hits_total\":" + count("cache_hits_total");
   out += ",\"cache_misses_total\":" + count("cache_misses_total");
   out += ",\"cache_size\":" + std::to_string(cache_.size());

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <string>
 
+#include "fault/policy.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/engine.h"
@@ -39,6 +40,12 @@ struct ServerConfig {
   /// (bench_serving uses this to measure worker overlap independently of
   /// core count) or tracing. Never called on the cache-hit path.
   std::function<void()> pre_execute_hook;
+  /// Transient-failure retry shape for the table-parse and execute stages
+  /// (only statuses with IsTransient() are ever retried).
+  fault::RetryOptions retry;
+  /// Circuit-breaker shape shared by the per-dependency breakers (index
+  /// warming, result cache).
+  fault::CircuitBreakerOptions breaker;
 };
 
 /// \brief The request/response front of the serving subsystem.
@@ -59,10 +66,23 @@ struct ServerConfig {
 ///   {"id":3,"status":"rejected","error":"request queue full..."}
 ///   {"id":4,"status":"timeout","error":"deadline expired in queue"}
 ///   {"id":5,"status":"error","error":"table: bad CSV ..."}
+///   {"id":6,"status":"ok","label":"Supported","degraded":true}
 ///
 /// Flow: parse (caller thread) -> cache probe (caller thread; hits answer
-/// immediately) -> bounded scheduler queue (reject = backpressure) ->
-/// worker executes inference -> cache fill -> done callback.
+/// immediately) -> bounded scheduler queue (reject = backpressure,
+/// deadline-shed = timeout) -> worker executes inference -> cache fill ->
+/// done callback.
+///
+/// Resilience (see src/fault/ and the README "Robustness" section):
+///   - transient faults in table parse / execute are retried with
+///     jittered exponential backoff (ServerConfig::retry);
+///   - index-warm faults degrade the request to the bit-identical scan
+///     path instead of failing it, cache faults degrade to cache bypass;
+///     either marks the response `"degraded":true` (the answer bytes are
+///     identical to the healthy path);
+///   - each degradable dependency sits behind a circuit breaker, so a
+///     dependency that keeps faulting is skipped outright for a cooldown
+///     instead of being probed on every request.
 class Server {
  public:
   /// \param engine not owned; must outlive the server.
@@ -103,12 +123,18 @@ class Server {
   obs::Tracer* tracer_;       ///< Not owned.
   ResultCache cache_;
   Scheduler scheduler_;
+  fault::RetryPolicy retry_;
+  fault::CircuitBreaker index_breaker_;
+  fault::CircuitBreaker cache_breaker_;
 
   Counter* requests_total_;
   Counter* responses_ok_;
   Counter* responses_rejected_;
   Counter* responses_timeout_;
   Counter* responses_error_;
+  Counter* responses_degraded_;
+  Counter* degraded_index_fallback_;
+  Counter* degraded_cache_bypass_;
   Histogram* execute_us_;
   Histogram* table_parse_us_;
   Histogram* index_warm_us_;

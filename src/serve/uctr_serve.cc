@@ -13,14 +13,21 @@
 //                    [--timeout_ms N] [--metrics] [--trace-out FILE]
 //       Reads one JSON request per stdin line, writes one JSON response
 //       per stdout line in input order. With --metrics, dumps the metrics
-//       exposition to stderr at EOF.
+//       exposition to stderr at EOF. SIGINT/SIGTERM shut down gracefully:
+//       stop reading input, drain in-flight requests, then flush
+//       metrics/trace exactly like EOF.
 //
 // Either mode with --trace-out FILE enables the process-wide tracer and
 // dumps the recorded spans as ldjson to FILE on exit (most recent
 // obs::Tracer::kDefaultCapacity spans).
 //
+// Either mode also accepts --fault-spec SPEC [--fault-seed N] to arm the
+// deterministic fault injector (see README.md "Robustness" for the spec
+// grammar) — chaos drills against the real binary.
+//
 // See README.md "Serving" and "Observability" for schemas.
 
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -30,6 +37,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "fault/fault.h"
 #include "gen/generator.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -45,6 +53,23 @@ using namespace uctr;
 int Fail(const std::string& message) {
   std::cerr << "uctr_serve: " << message << "\n";
   return 1;
+}
+
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+extern "C" void HandleShutdownSignal(int) { g_shutdown_requested = 1; }
+
+/// Installs SIGINT/SIGTERM handlers WITHOUT SA_RESTART: the blocking
+/// stdin read in the serve loop then fails with EINTR instead of being
+/// transparently restarted, so the loop observes g_shutdown_requested and
+/// runs the same drain/flush epilogue as EOF.
+void InstallShutdownHandlers() {
+  struct sigaction action = {};
+  action.sa_handler = HandleShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // deliberately no SA_RESTART
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
 }
 
 std::map<std::string, std::string> ParseFlags(int argc, char** argv,
@@ -122,6 +147,17 @@ Status WriteFile(const std::string& path, const std::string& content) {
   out.close();
   if (!out) return Status::ExecutionError("short write to " + path);
   return Status::OK();
+}
+
+/// --fault-spec SPEC [--fault-seed N]: arm the process-wide fault
+/// injector before any work starts. Returns non-OK on a malformed spec.
+Status MaybeArmFaults(const std::map<std::string, std::string>& flags) {
+  auto it = flags.find("fault-spec");
+  if (it == flags.end()) return Status::OK();
+  if (auto seed = flags.find("fault-seed"); seed != flags.end()) {
+    fault::FaultInjector::Global().Seed(std::stoull(seed->second));
+  }
+  return fault::FaultInjector::Global().ArmSpec(it->second);
 }
 
 /// --trace-out FILE: switch on the process-wide tracer up front. Returns
@@ -222,15 +258,23 @@ int RunServe(const std::map<std::string, std::string>& flags) {
       static_cast<int64_t>(FlagSize(flags, "timeout_ms", 0));
   serve::Server server(&*engine, server_config);
 
+  InstallShutdownHandlers();
   serve::OrderedResponseWriter writer(
       [](const std::string& line) { std::cout << line << "\n"; });
   std::string line;
-  while (std::getline(std::cin, line)) {
+  // A signal interrupts the blocking read (handlers are installed without
+  // SA_RESTART) and getline fails; either way — signal or EOF — we fall
+  // through to the same graceful epilogue: stop accepting input, drain
+  // every in-flight request, flush responses, then metrics and trace.
+  while (!g_shutdown_requested && std::getline(std::cin, line)) {
     if (line.empty()) continue;
     uint64_t seq = writer.NextSequence();
     server.SubmitLine(line, [seq, &writer](std::string response) {
       writer.Write(seq, std::move(response));
     });
+  }
+  if (g_shutdown_requested) {
+    std::cerr << "uctr_serve: shutdown signal received, draining\n";
   }
   server.Drain();
   std::cout.flush();
@@ -249,6 +293,7 @@ int main(int argc, char** argv) {
   }
   std::string mode = argv[1];
   auto flags = ParseFlags(argc, argv, 2);
+  if (Status s = MaybeArmFaults(flags); !s.ok()) return Fail(s.ToString());
   if (mode == "train") return RunTrain(flags);
   if (mode == "serve") return RunServe(flags);
   return Fail("unknown mode '" + mode + "' (expected train or serve)");

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "fault/fault.h"
 #include "table/index.h"
 
 namespace uctr {
@@ -13,13 +14,17 @@ Table::Table(std::string name, Schema schema)
     : name_(std::move(name)), schema_(std::move(schema)) {}
 
 Table::Table(const Table& other)
-    : name_(other.name_), schema_(other.schema_), rows_(other.rows_) {}
+    : name_(other.name_),
+      schema_(other.schema_),
+      rows_(other.rows_),
+      index_enabled_(other.index_enabled_) {}
 
 Table& Table::operator=(const Table& other) {
   if (this == &other) return *this;
   name_ = other.name_;
   schema_ = other.schema_;
   rows_ = other.rows_;
+  index_enabled_ = other.index_enabled_;
   InvalidateIndex();
   return *this;
 }
@@ -28,6 +33,7 @@ Table::Table(Table&& other) noexcept
     : name_(std::move(other.name_)),
       schema_(std::move(other.schema_)),
       rows_(std::move(other.rows_)),
+      index_enabled_(other.index_enabled_),
       index_(std::move(other.index_)) {
   if (index_) index_->RebindTable(this);
 }
@@ -37,6 +43,7 @@ Table& Table::operator=(Table&& other) noexcept {
   name_ = std::move(other.name_);
   schema_ = std::move(other.schema_);
   rows_ = std::move(other.rows_);
+  index_enabled_ = other.index_enabled_;
   index_ = std::move(other.index_);
   if (index_) index_->RebindTable(this);
   return *this;
@@ -50,7 +57,9 @@ const TableIndex& Table::index() const {
   return *index_;
 }
 
-void Table::WarmIndex() const { index().Warm(); }
+void Table::WarmIndex() const {
+  if (index_enabled_) index().Warm();
+}
 
 void Table::InvalidateIndex() {
   std::lock_guard<std::mutex> lock(index_mu_);
@@ -149,6 +158,10 @@ std::string CsvQuote(std::string_view s) {
 }  // namespace
 
 Result<Table> Table::FromCsv(std::string_view csv, std::string name) {
+  // Injection site for corrupt-evidence drills: chaos schedules force
+  // parse failures here to prove loaders and serving degrade instead of
+  // aborting a whole batch on one poison table.
+  UCTR_RETURN_NOT_OK(UCTR_FAULT_POINT("table.from_csv"));
   size_t pos = 0;
   if (csv.empty()) return Status::ParseError("empty CSV input");
   std::vector<std::string> header = ParseCsvRecord(csv, &pos);
