@@ -29,6 +29,8 @@
 #include "common/rng.h"
 #include "fault/fault.h"
 #include "gen/generator.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "program/library.h"
 #include "serve/engine.h"
 #include "serve/server.h"
@@ -128,12 +130,59 @@ std::string Fixed(double v, int decimals = 1) {
   return buf;
 }
 
+/// The same request stream through the loopback TCP front end: one
+/// pipelined connection with a bounded in-flight window, so the
+/// difference against RunPass is exactly the transport (framing, epoll,
+/// socket hops) and not a different concurrency pattern.
+PassResult RunNetPass(serve::Server* backend,
+                      const std::vector<std::string>& requests) {
+  net::NetServerConfig net_config;
+  net::Server net_server(backend, net_config);
+  Status started = net_server.Start();
+  if (!started.ok()) {
+    std::cerr << "bench_serving: " << started.ToString() << "\n";
+    std::exit(1);
+  }
+  std::thread loop([&net_server] { net_server.Run(); });
+  auto client = net::Client::Connect("127.0.0.1", net_server.port());
+  if (!client.ok()) {
+    std::cerr << "bench_serving: " << client.status().ToString() << "\n";
+    std::exit(1);
+  }
+  constexpr size_t kWindow = 128;  // below the server pipeline limit
+  PassResult result;
+  Clock::time_point start = Clock::now();
+  size_t sent = 0;
+  while (result.responses.size() < requests.size()) {
+    while (sent < requests.size() && sent - result.responses.size() < kWindow) {
+      Status s = client->Send(requests[sent]);
+      if (!s.ok()) {
+        std::cerr << "bench_serving: " << s.ToString() << "\n";
+        std::exit(1);
+      }
+      ++sent;
+    }
+    auto response = client->Recv();
+    if (!response.ok()) {
+      std::cerr << "bench_serving: " << response.status().ToString() << "\n";
+      std::exit(1);
+    }
+    result.responses.push_back(std::move(response).ValueOrDie());
+  }
+  result.millis = MillisSince(start);
+  client->Close();
+  net_server.Shutdown();
+  loop.join();
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // --fault-spec SPEC [--fault-seed N]: run the whole bench with the
   // deterministic fault injector armed, to measure the latency/throughput
   // cost of degraded operation (scan fallback, cache bypass, retries).
+  bool with_net = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto value = [&](const char* what) -> std::string {
@@ -151,9 +200,11 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--fault-seed") {
       fault::FaultInjector::Global().Seed(std::stoull(value("--fault-seed")));
+    } else if (arg == "--net") {
+      with_net = true;
     } else {
       std::cerr << "bench_serving: unknown flag " << arg
-                << " (--fault-spec SPEC, --fault-seed N)\n";
+                << " (--fault-spec SPEC, --fault-seed N, --net)\n";
       return 1;
     }
   }
@@ -254,5 +305,38 @@ int main(int argc, char** argv) {
   std::cout << "determinism: responses at 8 workers "
             << (identical ? "byte-identical to" : "DIVERGE from")
             << " 1 worker (" << responses_at_1.size() << " responses)\n";
-  return identical && monotonic ? 0 : 1;
+
+  // --net: the same warm stream in-process vs over loopback TCP — the
+  // gap is the wire cost (framing + epoll + two socket hops per request).
+  bool net_identical = true;
+  if (with_net) {
+    serve::ServerConfig config;
+    config.scheduler.num_workers = 4;
+    config.scheduler.queue_capacity = requests.size() + 1;
+    config.cache_capacity = 4 * requests.size();
+    serve::Server inproc_server(&engine, config);
+    RunPass(&inproc_server, requests);  // warm the cache
+    PassResult inproc = RunPass(&inproc_server, requests);
+
+    serve::Server net_backend(&engine, config);
+    RunNetPass(&net_backend, requests);  // warm the cache
+    PassResult net = RunNetPass(&net_backend, requests);
+
+    double inproc_rps = n / inproc.millis * 1000.0;
+    double net_rps = n / net.millis * 1000.0;
+    std::cout << "\nloopback TCP vs in-process (4 workers, warm cache):\n"
+              << "  in-process  " << Fixed(inproc_rps, 0) << " req/s ("
+              << Fixed(inproc.millis * 1000.0 / n) << " us/req)\n"
+              << "  loopback    " << Fixed(net_rps, 0) << " req/s ("
+              << Fixed(net.millis * 1000.0 / n) << " us/req)\n"
+              << "  transport overhead "
+              << Fixed((net.millis - inproc.millis) * 1000.0 / n)
+              << " us/req (" << Fixed(inproc_rps / net_rps, 2)
+              << "x slowdown)\n";
+    net_identical = net.responses == inproc.responses;
+    std::cout << "  responses over TCP "
+              << (net_identical ? "byte-identical to" : "DIVERGE from")
+              << " in-process\n";
+  }
+  return identical && monotonic && net_identical ? 0 : 1;
 }

@@ -12,6 +12,11 @@
 #   scripts/check.sh faults                 # chaos mode: fault_test +
 #                                           # fuzz_test + a uctr_serve
 #                                           # --fault-spec drill
+#   scripts/check.sh net                    # net_test + a loopback TCP
+#                                           # soak (uctr_load against
+#                                           # uctr_serve --listen, clean
+#                                           # and chaos variants, SIGTERM
+#                                           # drain)
 #   UCTR_SANITIZE=thread scripts/check.sh   # TSan, full suite
 #   UCTR_SANITIZE=thread scripts/check.sh index_test serve_test
 set -euo pipefail
@@ -71,6 +76,59 @@ if [[ "${1:-}" == faults ]]; then
     exit 1
   fi
   echo "fault/chaos ($SANITIZE) check passed"
+  exit 0
+fi
+if [[ "${1:-}" == net ]]; then
+  # Networking mode: the loopback unit/integration suite under the
+  # sanitizer, then a soak of the real binaries: uctr_serve --listen on an
+  # ephemeral port vs uctr_load with 32 concurrent connections. Run clean,
+  # then again with a serving-layer fault schedule armed (every response
+  # must still arrive — degraded, never lost), then SIGTERM the server and
+  # require a graceful exit 0.
+  ./tests/net_test
+
+  run_soak() {  # run_soak NAME [extra uctr_serve flags...]
+    local name="$1"; shift
+    local errlog port
+    errlog=$(mktemp)
+    ./src/serve/uctr_serve serve --workers 4 --listen 127.0.0.1:0 "$@" \
+      2>"$errlog" &
+    local serve_pid=$!
+    port=""
+    for _ in $(seq 1 100); do
+      port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+        "$errlog" | head -n1)
+      [[ -n "$port" ]] && break
+      sleep 0.1
+    done
+    if [[ -z "$port" ]]; then
+      echo "net soak ($name): server never announced its port" >&2
+      cat "$errlog" >&2
+      exit 1
+    fi
+    if ! ./src/net/uctr_load --connect "127.0.0.1:$port" \
+        --connections 32 --requests 1280 --pipeline 8; then
+      echo "net soak ($name): uctr_load reported lost/reordered responses" >&2
+      kill "$serve_pid" 2>/dev/null || true
+      exit 1
+    fi
+    kill -TERM "$serve_pid"
+    local serve_rc=0
+    wait "$serve_pid" || serve_rc=$?
+    if [[ "$serve_rc" -ne 0 ]]; then
+      echo "net soak ($name): uctr_serve exited $serve_rc after SIGTERM" >&2
+      cat "$errlog" >&2
+      exit 1
+    fi
+    rm -f "$errlog"
+    echo "net soak ($name) passed"
+  }
+
+  run_soak clean
+  run_soak chaos --fault-spec \
+    'serve.index_warm=error:p=0.5;serve.cache_get=error:p=0.3;sched.dequeue=latency(2):p=0.3' \
+    --fault-seed 7
+  echo "net ($SANITIZE) check passed"
   exit 0
 fi
 if [[ $# -gt 0 ]]; then

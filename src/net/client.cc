@@ -1,0 +1,142 @@
+#include "net/client.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <utility>
+
+#include "net/socket_util.h"
+
+namespace uctr::net {
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      decoder_(std::move(other.decoder_)),
+      max_frame_bytes_(other.max_frame_bytes_) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    decoder_ = std::move(other.decoder_);
+    max_frame_bytes_ = other.max_frame_bytes_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port,
+                               size_t max_frame_bytes) {
+  int fd = 0;
+  UCTR_ASSIGN_OR_RETURN(fd, ConnectTcp(host, port));
+  Client client;
+  client.fd_ = fd;
+  client.max_frame_bytes_ = max_frame_bytes;
+  client.decoder_ = FrameDecoder(max_frame_bytes);
+  return client;
+}
+
+Status Client::Send(const std::string& payload) {
+  if (fd_ < 0) return Status::Unavailable("client not connected");
+  std::string frame;
+  UCTR_ASSIGN_OR_RETURN(frame, EncodeFrame(payload, max_frame_bytes_));
+  size_t off = 0;
+  while (off < frame.size()) {
+    ssize_t n = ::send(fd_, frame.data() + off, frame.size() - off,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return ErrnoStatus("send");
+  }
+  return Status::OK();
+}
+
+Result<std::string> Client::Recv() {
+  if (fd_ < 0) return Status::Unavailable("client not connected");
+  std::string payload;
+  char buf[65536];
+  while (true) {
+    if (decoder_.Next(&payload)) return payload;
+    UCTR_RETURN_NOT_OK(decoder_.error());
+    ssize_t n = read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      UCTR_RETURN_NOT_OK(decoder_.Feed(buf, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) return ErrnoStatus("read");
+    // EOF. A clean close lands exactly between frames.
+    if (decoder_.buffered_bytes() == 0) {
+      return Status::Unavailable("connection closed");
+    }
+    return Status::ParseError("connection closed mid-frame (" +
+                              std::to_string(decoder_.buffered_bytes()) +
+                              " bytes buffered)");
+  }
+}
+
+Result<std::string> Client::RecvTimeout(int timeout_ms) {
+  if (fd_ < 0) return Status::Unavailable("client not connected");
+  std::string payload;
+  if (decoder_.Next(&payload)) return payload;
+  UCTR_RETURN_NOT_OK(decoder_.error());
+  char buf[65536];
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - std::chrono::steady_clock::now())
+                    .count();
+    if (left < 0) left = 0;
+    struct pollfd pfd = {fd_, POLLIN, 0};
+    int ready = poll(&pfd, 1, static_cast<int>(left));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("poll");
+    }
+    if (ready == 0) {
+      return Status::DeadlineExceeded("no response frame within " +
+                                      std::to_string(timeout_ms) + " ms");
+    }
+    ssize_t n = read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      UCTR_RETURN_NOT_OK(decoder_.Feed(buf, static_cast<size_t>(n)));
+      if (decoder_.Next(&payload)) return payload;
+      UCTR_RETURN_NOT_OK(decoder_.error());
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+    if (n < 0) return ErrnoStatus("read");
+    if (decoder_.buffered_bytes() == 0) {
+      return Status::Unavailable("connection closed");
+    }
+    return Status::ParseError("connection closed mid-frame");
+  }
+}
+
+Result<std::string> Client::Call(const std::string& payload) {
+  UCTR_RETURN_NOT_OK(Send(payload));
+  return Recv();
+}
+
+void Client::ShutdownWrite() {
+  if (fd_ >= 0) shutdown(fd_, SHUT_WR);
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace uctr::net

@@ -1,0 +1,165 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace uctr::net {
+
+namespace {
+
+/// Wait granularity: also bounds how stale the external stop flag can be
+/// when the SIGTERM is delivered to a thread that is not parked in this
+/// epoll_wait (signals without handler masks may land anywhere).
+constexpr int kWaitMillis = 100;
+
+uint64_t PackTag(int fd, uint64_t generation) {
+  return (generation << 32) | static_cast<uint32_t>(fd);
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    init_ = Status::Internal(std::string("epoll_create1: ") +
+                             std::strerror(errno));
+    return;
+  }
+  wakeup_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wakeup_fd_ < 0) {
+    init_ = Status::Internal(std::string("eventfd: ") + std::strerror(errno));
+    return;
+  }
+  struct epoll_event ev = {};
+  ev.events = EPOLLIN;
+  ev.data.u64 = PackTag(wakeup_fd_, 0);
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wakeup_fd_, &ev) != 0) {
+    init_ = Status::Internal(std::string("epoll_ctl(wakeup): ") +
+                             std::strerror(errno));
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (wakeup_fd_ >= 0) close(wakeup_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+}
+
+Status EventLoop::Add(int fd, uint32_t events,
+                      std::function<void(uint32_t)> on_event) {
+  UCTR_RETURN_NOT_OK(init_);
+  uint64_t generation = next_generation_++;
+  struct epoll_event ev = {};
+  ev.events = events;
+  ev.data.u64 = PackTag(fd, generation);
+  int op = handlers_.count(fd) != 0 ? EPOLL_CTL_MOD : EPOLL_CTL_ADD;
+  if (epoll_ctl(epoll_fd_, op, fd, &ev) != 0) {
+    return Status::Internal(std::string("epoll_ctl(add): ") +
+                            std::strerror(errno));
+  }
+  handlers_[fd] = Handler{std::move(on_event), generation};
+  return Status::OK();
+}
+
+Status EventLoop::Modify(int fd, uint32_t events) {
+  UCTR_RETURN_NOT_OK(init_);
+  auto it = handlers_.find(fd);
+  if (it == handlers_.end()) {
+    return Status::NotFound("Modify on unregistered fd " + std::to_string(fd));
+  }
+  struct epoll_event ev = {};
+  ev.events = events;
+  ev.data.u64 = PackTag(fd, it->second.generation);
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Status::Internal(std::string("epoll_ctl(mod): ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+void EventLoop::Remove(int fd) {
+  if (handlers_.erase(fd) != 0) {
+    // Removing the registration invalidates the generation any queued
+    // batch events carry, so they are dropped even if the fd number is
+    // immediately reused by a new accept.
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+}
+
+void EventLoop::Post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    posted_.push_back(std::move(task));
+  }
+  uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) already guarantees a pending wakeup.
+  ssize_t ignored = write(wakeup_fd_, &one, sizeof(one));
+  (void)ignored;
+}
+
+void EventLoop::DrainWakeup() {
+  uint64_t value = 0;
+  while (read(wakeup_fd_, &value, sizeof(value)) > 0) {
+  }
+}
+
+void EventLoop::RunPostedTasks() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    batch.swap(posted_);
+  }
+  for (auto& task : batch) task();
+}
+
+void EventLoop::Run() {
+  constexpr int kMaxEvents = 64;
+  struct epoll_event events[kMaxEvents];
+  while (!stop_.load(std::memory_order_acquire)) {
+    int n = epoll_wait(epoll_fd_, events, kMaxEvents, kWaitMillis);
+    if (n < 0) {
+      if (errno != EINTR) break;
+      // A signal interrupted the wait (the CLI installs handlers without
+      // SA_RESTART for exactly this): fall through so the tick observes
+      // the shutdown flag immediately instead of one wait later.
+      n = 0;
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = static_cast<int>(events[i].data.u64 & 0xFFFFFFFFu);
+      uint64_t generation = events[i].data.u64 >> 32;
+      if (fd == wakeup_fd_) {
+        DrainWakeup();
+        continue;
+      }
+      // Look the handler up fresh per event: an earlier handler in this
+      // batch may have removed this fd (and a new registration may have
+      // reused its number — the generation tag tells them apart).
+      auto it = handlers_.find(fd);
+      if (it == handlers_.end() || it->second.generation != generation) {
+        continue;
+      }
+      // Invoke through a copy: the handler may Remove (and thus destroy)
+      // its own map entry mid-call.
+      auto on_event = it->second.on_event;
+      on_event(events[i].events);
+    }
+    RunPostedTasks();
+    if (tick_) tick_();
+  }
+  // Final drain so a Post that raced Stop still runs before Run returns.
+  RunPostedTasks();
+  stop_.store(false, std::memory_order_release);
+}
+
+void EventLoop::Stop() {
+  stop_.store(true, std::memory_order_release);
+  uint64_t one = 1;
+  ssize_t ignored = write(wakeup_fd_, &one, sizeof(one));
+  (void)ignored;
+}
+
+}  // namespace uctr::net

@@ -1,0 +1,100 @@
+#ifndef UCTR_NET_EVENT_LOOP_H_
+#define UCTR_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace uctr::net {
+
+/// \brief A single-threaded non-blocking epoll event loop.
+///
+/// All fd callbacks run on the thread inside Run(); that thread owns
+/// every connection's state, which is what keeps the connection state
+/// machines lock-free. The only cross-thread entry points are Post() and
+/// Stop(): both take a small mutex, enqueue, and wake the loop via an
+/// eventfd — this is how serving workers hand completed responses back
+/// to the connection that owns them.
+///
+/// Events are level-triggered (EPOLLIN/EPOLLOUT as registered): a
+/// handler that does not drain its fd is simply called again, which
+/// makes partial reads/writes the normal case rather than a special one.
+class EventLoop {
+ public:
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// \brief True when the epoll and wakeup fds were created successfully;
+  /// a failed loop returns errors from every registration.
+  Status Init() const { return init_; }
+
+  /// \brief Registers `fd` with the given EPOLL* interest mask. The
+  /// callback receives the ready-event mask. One callback per fd;
+  /// re-adding an fd replaces it.
+  Status Add(int fd, uint32_t events, std::function<void(uint32_t)> on_event);
+
+  /// \brief Changes the interest mask of a registered fd.
+  Status Modify(int fd, uint32_t events);
+
+  /// \brief Deregisters `fd` (does not close it). Pending ready-events
+  /// for it in the current epoll batch are discarded, so a handler may
+  /// safely Remove+close any fd — including its own — mid-batch.
+  void Remove(int fd);
+
+  /// \brief Queues `task` to run on the loop thread and wakes the loop.
+  /// Thread-safe; callable from the loop thread itself (the task runs in
+  /// a later iteration, never recursively).
+  void Post(std::function<void()> task);
+
+  /// \brief Runs the loop on the calling thread until Stop(). Dispatches
+  /// fd events and posted tasks; returns after draining the posted-task
+  /// queue one final time.
+  void Run();
+
+  /// \brief Makes Run() return. Thread-safe.
+  void Stop();
+
+  /// \brief Optional callback run once per loop iteration (after events
+  /// and posted tasks, and on every wait timeout). The wait granularity
+  /// (100 ms) bounds its staleness, which makes it the place to poll
+  /// signal flags and drain deadlines.
+  void set_tick(std::function<void()> tick) { tick_ = std::move(tick); }
+
+  size_t registered_fds() const { return handlers_.size(); }
+
+ private:
+  /// Registered handler. `generation` guards against fd-number reuse
+  /// inside one epoll batch: events carry (fd, generation) and are
+  /// dropped unless both match the live registration.
+  struct Handler {
+    std::function<void(uint32_t)> on_event;
+    uint64_t generation = 0;
+  };
+
+  void DrainWakeup();
+  void RunPostedTasks();
+
+  Status init_;
+  int epoll_fd_ = -1;
+  int wakeup_fd_ = -1;
+  uint64_t next_generation_ = 1;
+  std::unordered_map<int, Handler> handlers_;  // loop thread only
+  std::function<void()> tick_;
+
+  std::atomic<bool> stop_{false};
+  std::mutex post_mu_;
+  std::vector<std::function<void()>> posted_;
+};
+
+}  // namespace uctr::net
+
+#endif  // UCTR_NET_EVENT_LOOP_H_

@@ -1,0 +1,110 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+namespace uctr::net {
+
+namespace {
+
+uint32_t DecodeHeader(const char* bytes) {
+  return (static_cast<uint32_t>(static_cast<unsigned char>(bytes[0])) << 24) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(bytes[1])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(bytes[2])) << 8) |
+         static_cast<uint32_t>(static_cast<unsigned char>(bytes[3]));
+}
+
+}  // namespace
+
+Result<std::string> EncodeFrame(std::string_view payload,
+                                size_t max_frame_bytes) {
+  if (payload.empty()) {
+    return Status::InvalidArgument("cannot encode a zero-length frame");
+  }
+  if (payload.size() > max_frame_bytes ||
+      payload.size() > UINT32_MAX) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the " + std::to_string(max_frame_bytes) +
+        "-byte frame limit");
+  }
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  out.push_back(static_cast<char>((len >> 24) & 0xFF));
+  out.push_back(static_cast<char>((len >> 16) & 0xFF));
+  out.push_back(static_cast<char>((len >> 8) & 0xFF));
+  out.push_back(static_cast<char>(len & 0xFF));
+  out.append(payload);
+  return out;
+}
+
+Status FrameDecoder::Feed(const char* data, size_t n) {
+  if (!error_.ok()) return error_;
+  if (n == 0) return Status::OK();
+  // Compact before appending once the dead prefix dominates the live
+  // tail, so long-lived connections do not grow the buffer without bound
+  // while still amortizing the memmove.
+  if (consumed_ > 4096 && consumed_ > buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, n);
+  // Validate any header that just became complete: oversized/zero frames
+  // must be rejected from the 4 header bytes alone, before their payload
+  // is buffered or even sent.
+  while (pending_len_ == SIZE_MAX &&
+         buffer_.size() - consumed_ >= kFrameHeaderBytes) {
+    uint32_t len = DecodeHeader(buffer_.data() + consumed_);
+    if (len == 0) {
+      error_ = Status::ParseError("zero-length frame");
+      return error_;
+    }
+    if (len > max_frame_bytes_) {
+      error_ = Status::ParseError(
+          "frame of " + std::to_string(len) + " bytes exceeds the " +
+          std::to_string(max_frame_bytes_) + "-byte frame limit");
+      return error_;
+    }
+    if (buffer_.size() - consumed_ < kFrameHeaderBytes + len) {
+      pending_len_ = len;  // header valid, payload incomplete
+      break;
+    }
+    // A complete frame is buffered; leave it for Next. Skip past it so
+    // the loop validates any further coalesced header in this Feed.
+    pending_len_ = len;
+    break;
+  }
+  return Status::OK();
+}
+
+bool FrameDecoder::Next(std::string* payload) {
+  while (true) {
+    if (buffer_.size() - consumed_ < kFrameHeaderBytes) return false;
+    uint32_t len = DecodeHeader(buffer_.data() + consumed_);
+    if (len == 0 || len > max_frame_bytes_) return false;  // poisoned
+    if (buffer_.size() - consumed_ < kFrameHeaderBytes + len) return false;
+    payload->assign(buffer_, consumed_ + kFrameHeaderBytes, len);
+    consumed_ += kFrameHeaderBytes + len;
+    pending_len_ = SIZE_MAX;
+    // Revalidate the next header so a poisoning header that arrived
+    // coalesced behind complete frames still surfaces via error() once
+    // the good frames are drained.
+    if (error_.ok() && buffer_.size() - consumed_ >= kFrameHeaderBytes) {
+      uint32_t next_len = DecodeHeader(buffer_.data() + consumed_);
+      if (next_len == 0) {
+        error_ = Status::ParseError("zero-length frame");
+      } else if (next_len > max_frame_bytes_) {
+        error_ = Status::ParseError(
+            "frame of " + std::to_string(next_len) + " bytes exceeds the " +
+            std::to_string(max_frame_bytes_) + "-byte frame limit");
+      }
+    }
+    return true;
+  }
+}
+
+size_t FrameDecoder::buffered_bytes() const {
+  return buffer_.size() - consumed_;
+}
+
+}  // namespace uctr::net

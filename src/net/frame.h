@@ -1,0 +1,88 @@
+#ifndef UCTR_NET_FRAME_H_
+#define UCTR_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace uctr::net {
+
+/// \brief The UCTR wire protocol frame codec.
+///
+/// A frame is a 4-byte big-endian unsigned payload length followed by
+/// exactly that many payload bytes. The payload is one JSON object — the
+/// same request/response schema the stdio mode of `uctr_serve` speaks,
+/// without the trailing newline (framing replaces line-delimiting so
+/// payloads may embed newlines freely). Both directions use the same
+/// framing.
+///
+/// Protocol limits (violations poison the decoder — the connection must
+/// be torn down, there is no way to resynchronize a byte stream after a
+/// corrupt header):
+///   - zero-length frames are invalid (an empty payload can never be a
+///     JSON object; a zero header is far more likely a desynced stream);
+///   - frames larger than `max_frame_bytes` are rejected *from the
+///     header alone*, before any payload buffering, so a hostile or
+///     corrupt length prefix cannot make the server allocate it.
+constexpr size_t kFrameHeaderBytes = 4;
+constexpr size_t kDefaultMaxFrameBytes = 8u << 20;  // 8 MiB
+
+/// \brief Frames `payload` for the wire: header + bytes, as one string.
+/// Payloads above `max_frame_bytes` return InvalidArgument (the peer
+/// would reject them anyway; failing at the sender keeps the connection
+/// alive).
+Result<std::string> EncodeFrame(std::string_view payload,
+                                size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+/// \brief Incremental frame decoder tolerant of arbitrary byte-stream
+/// fragmentation: partial headers, partial payloads, and many frames
+/// coalesced into one read all decode identically.
+///
+/// Usage:
+///   decoder.Feed(buf, n);            // returns non-OK on protocol error
+///   while (decoder.Next(&payload)) { ... }
+///
+/// Once Feed returns an error the decoder is poisoned: further Feeds
+/// return the same error and Next yields nothing beyond frames that were
+/// already complete before the violation.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// \brief Appends `n` bytes of stream data. Returns the first protocol
+  /// violation (oversized or zero-length header), sticky across calls.
+  Status Feed(const char* data, size_t n);
+  Status Feed(std::string_view data) { return Feed(data.data(), data.size()); }
+
+  /// \brief Pops the next complete frame payload; false when no complete
+  /// frame is buffered.
+  bool Next(std::string* payload);
+
+  /// \brief Bytes buffered but not yet returned by Next (header bytes,
+  /// partial payloads, and decoded-but-unpopped frames).
+  size_t buffered_bytes() const;
+
+  bool poisoned() const { return !error_.ok(); }
+  const Status& error() const { return error_; }
+
+ private:
+  size_t max_frame_bytes_;  ///< Non-const so decoders stay movable.
+  Status error_;
+  /// Undecoded stream bytes. `consumed_` is the read offset into it;
+  /// compacted when the consumed prefix dominates, so steady-state
+  /// decoding does not repeatedly memmove the tail.
+  std::string buffer_;
+  size_t consumed_ = 0;
+  /// Declared length of the frame being decoded; SIZE_MAX = between
+  /// frames (waiting for a header).
+  size_t pending_len_ = SIZE_MAX;
+};
+
+}  // namespace uctr::net
+
+#endif  // UCTR_NET_FRAME_H_

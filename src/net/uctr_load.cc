@@ -1,0 +1,333 @@
+// uctr_load — multi-connection load generator for `uctr_serve --listen`.
+//
+//   uctr_load --connect HOST:PORT [--connections N] [--requests N]
+//             [--qps Q] [--pipeline D] [--tables T]
+//             [--op verify|answer|mixed] [--timeout-ms N]
+//
+// Drives the TCP serving front end with N concurrent connections:
+//
+//   closed loop (default)  — each connection keeps up to --pipeline D
+//                            requests outstanding and sends the next as
+//                            soon as a response frees a slot; measures
+//                            the server's capacity.
+//   open loop (--qps Q)    — requests are sent on a fixed schedule
+//                            (Q/N per connection) regardless of response
+//                            arrival; measures latency at a target rate,
+//                            the way real user traffic does.
+//
+// Every connection checks the per-connection ordering guarantee: request
+// ids are sequential, so response ids must come back in exactly the sent
+// order — any hole or swap counts as lost/reordered and fails the run.
+// Latency percentiles come from a shared lock-free obs::Histogram.
+//
+// Exit status: 0 iff every request got an in-order response and no
+// connection failed.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "net/client.h"
+#include "net/socket_util.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using namespace uctr;
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  std::string host;
+  uint16_t port = 0;
+  size_t connections = 8;
+  size_t requests = 1000;  // total, split round-robin across connections
+  double qps = 0.0;        // 0 = closed loop
+  size_t pipeline = 1;
+  size_t tables = 16;
+  std::string op = "mixed";
+  int timeout_ms = 30000;
+  int connect_retries = 50;  // the soak starts server + load concurrently
+};
+
+/// Shared tallies; workers add with relaxed atomics, main prints once.
+struct Tally {
+  std::atomic<uint64_t> sent{0};
+  std::atomic<uint64_t> received{0};
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> error{0};
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<uint64_t> timeout{0};
+  std::atomic<uint64_t> other_status{0};
+  std::atomic<uint64_t> lost{0};
+  std::atomic<uint64_t> reordered{0};
+  std::atomic<uint64_t> connect_failures{0};
+  obs::Histogram latency_us;
+};
+
+std::string EscapeForJson(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '\n') {
+      out += "\\n";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Medal-style tables (the demo schema the serving examples use): same
+/// shape, different numbers per variant, so the stream exercises distinct
+/// cache keys with comparable per-request work.
+std::string MakeCsv(size_t variant) {
+  auto cell = [&](int base) { return std::to_string(base + (int)variant); };
+  return "nation,gold,silver,bronze,total\n"
+         "united states," + cell(10) + "," + cell(12) + "," + cell(8) + "," +
+         cell(30) + "\nchina," + cell(8) + "," + cell(6) + "," + cell(10) +
+         "," + cell(24) + "\njapan," + cell(5) + "," + cell(9) + "," +
+         cell(4) + "," + cell(18) + "\ngermany," + cell(5) + "," + cell(3) +
+         "," + cell(6) + "," + cell(14) + "\n";
+}
+
+std::string BuildRequest(uint64_t id, size_t variant, bool verify) {
+  std::string csv = EscapeForJson(MakeCsv(variant));
+  if (verify) {
+    return "{\"id\":" + std::to_string(id) +
+           ",\"op\":\"verify\",\"table\":\"" + csv +
+           "\",\"query\":\"The gold of the row whose nation is china is " +
+           std::to_string(8 + variant) + ".\"}";
+  }
+  return "{\"id\":" + std::to_string(id) +
+         ",\"op\":\"answer\",\"table\":\"" + csv +
+         "\",\"query\":\"What was the gold of the row whose nation is "
+         "united states?\"}";
+}
+
+/// Parses a response line and scores it against the expected id. The id
+/// check IS the ordering check: ids are sent sequentially per connection
+/// and the server promises per-connection FIFO responses.
+void ScoreResponse(const std::string& line, uint64_t expected_id,
+                   Tally* tally) {
+  tally->received.fetch_add(1, std::memory_order_relaxed);
+  auto parsed = json::Parse(line);
+  if (!parsed.ok() || !parsed->is_object()) {
+    tally->other_status.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const json::Value::Object& obj = parsed->as_object();
+  uint64_t id = static_cast<uint64_t>(json::GetNumberOr(obj, "id", 0));
+  if (id != expected_id) {
+    tally->reordered.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::string status = json::GetStringOr(obj, "status", "");
+  if (status == "ok") {
+    tally->ok.fetch_add(1, std::memory_order_relaxed);
+  } else if (status == "error") {
+    tally->error.fetch_add(1, std::memory_order_relaxed);
+  } else if (status == "rejected") {
+    tally->rejected.fetch_add(1, std::memory_order_relaxed);
+  } else if (status == "timeout") {
+    tally->timeout.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    tally->other_status.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Result<net::Client> ConnectWithRetry(const Options& options) {
+  Status last = Status::Unavailable("no attempt");
+  for (int attempt = 0; attempt <= options.connect_retries; ++attempt) {
+    auto client = net::Client::Connect(options.host, options.port);
+    if (client.ok()) return client;
+    last = client.status();
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  return last;
+}
+
+bool WantVerify(const Options& options, uint64_t id) {
+  if (options.op == "verify") return true;
+  if (options.op == "answer") return false;
+  return id % 2 == 1;  // mixed
+}
+
+void RunConnection(const Options& options, size_t conn_index,
+                   size_t my_requests, Tally* tally) {
+  auto client = ConnectWithRetry(options);
+  if (!client.ok()) {
+    tally->connect_failures.fetch_add(1, std::memory_order_relaxed);
+    tally->lost.fetch_add(my_requests, std::memory_order_relaxed);
+    return;
+  }
+
+  std::deque<Clock::time_point> send_times;
+  uint64_t next_recv_id = 1;
+  auto reap_one = [&](int timeout_ms) -> bool {
+    auto line = client->RecvTimeout(timeout_ms);
+    if (!line.ok()) return false;
+    tally->latency_us.Observe(
+        std::chrono::duration<double, std::micro>(Clock::now() -
+                                                  send_times.front())
+            .count());
+    send_times.pop_front();
+    ScoreResponse(*line, next_recv_id++, tally);
+    return true;
+  };
+
+  if (options.qps <= 0.0) {
+    // Closed loop: a bounded window of outstanding requests.
+    for (uint64_t id = 1; id <= my_requests; ++id) {
+      while (send_times.size() >= options.pipeline) {
+        if (!reap_one(options.timeout_ms)) goto drain;
+      }
+      std::string request =
+          BuildRequest(id, (conn_index + id) % options.tables,
+                       WantVerify(options, id));
+      send_times.push_back(Clock::now());
+      if (!client->Send(request).ok()) break;
+      tally->sent.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    // Open loop: fixed send schedule, responses reaped opportunistically.
+    double per_conn_qps =
+        options.qps / static_cast<double>(options.connections);
+    auto interval = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(1.0 / per_conn_qps));
+    Clock::time_point next_send = Clock::now();
+    for (uint64_t id = 1; id <= my_requests; ++id) {
+      while (Clock::now() < next_send) {
+        if (!send_times.empty()) {
+          reap_one(0);  // poll; never delays the schedule
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      }
+      std::string request =
+          BuildRequest(id, (conn_index + id) % options.tables,
+                       WantVerify(options, id));
+      send_times.push_back(Clock::now());
+      if (!client->Send(request).ok()) break;
+      tally->sent.fetch_add(1, std::memory_order_relaxed);
+      next_send += interval;
+    }
+  }
+
+drain:
+  while (!send_times.empty()) {
+    if (!reap_one(options.timeout_ms)) break;
+  }
+  tally->lost.fetch_add(send_times.size(), std::memory_order_relaxed);
+}
+
+int Fail(const std::string& message) {
+  std::cerr << "uctr_load: " << message << "\n";
+  return 2;
+}
+
+std::string Fixed(double v, int decimals = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) return Fail("unexpected argument " + arg);
+    std::string key = arg.substr(2), value = "1";
+    if (auto eq = key.find('='); eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+    } else if (i + 1 < argc) {
+      value = argv[++i];
+    }
+    flags[key] = value;
+  }
+  auto connect_it = flags.find("connect");
+  if (connect_it == flags.end()) {
+    return Fail(
+        "usage: uctr_load --connect HOST:PORT [--connections N] "
+        "[--requests N] [--qps Q] [--pipeline D] [--tables T] "
+        "[--op verify|answer|mixed] [--timeout-ms N]");
+  }
+  auto host_port = net::ParseHostPort(connect_it->second);
+  if (!host_port.ok()) return Fail(host_port.status().ToString());
+  options.host = host_port->host;
+  options.port = host_port->port;
+  if (flags.count("connections")) {
+    options.connections = std::stoul(flags["connections"]);
+  }
+  if (flags.count("requests")) options.requests = std::stoul(flags["requests"]);
+  if (flags.count("qps")) options.qps = std::stod(flags["qps"]);
+  if (flags.count("pipeline")) options.pipeline = std::stoul(flags["pipeline"]);
+  if (flags.count("tables")) options.tables = std::stoul(flags["tables"]);
+  if (flags.count("op")) options.op = flags["op"];
+  if (flags.count("timeout-ms")) options.timeout_ms = std::stoi(flags["timeout-ms"]);
+  if (options.connections == 0 || options.pipeline == 0 ||
+      options.tables == 0) {
+    return Fail("--connections, --pipeline, and --tables must be positive");
+  }
+  if (options.op != "verify" && options.op != "answer" &&
+      options.op != "mixed") {
+    return Fail("--op must be verify, answer, or mixed");
+  }
+
+  Tally tally;
+  std::vector<std::thread> workers;
+  workers.reserve(options.connections);
+  Clock::time_point start = Clock::now();
+  for (size_t c = 0; c < options.connections; ++c) {
+    size_t base = options.requests / options.connections;
+    size_t extra = c < options.requests % options.connections ? 1 : 0;
+    workers.emplace_back(RunConnection, options, c, base + extra, &tally);
+  }
+  for (auto& worker : workers) worker.join();
+  double wall_s = std::chrono::duration<double>(Clock::now() - start).count();
+
+  uint64_t sent = tally.sent.load();
+  uint64_t received = tally.received.load();
+  uint64_t lost = tally.lost.load() + (sent - received);
+  std::cout << "uctr_load: " << options.connections << " connections, "
+            << options.requests << " requests, "
+            << (options.qps > 0.0
+                    ? "open loop @ " + Fixed(options.qps, 0) + " qps"
+                    : "closed loop (pipeline " +
+                          std::to_string(options.pipeline) + ")")
+            << ", op " << options.op << "\n";
+  std::cout << "  sent " << sent << ", responses " << received << " (ok "
+            << tally.ok.load() << ", error " << tally.error.load()
+            << ", rejected " << tally.rejected.load() << ", timeout "
+            << tally.timeout.load() << ", other "
+            << tally.other_status.load() << ")\n";
+  std::cout << "  lost " << lost << ", reordered " << tally.reordered.load()
+            << ", connect failures " << tally.connect_failures.load()
+            << "\n";
+  std::cout << "  wall " << Fixed(wall_s, 2) << " s, achieved "
+            << Fixed(received / (wall_s > 0 ? wall_s : 1.0), 0)
+            << " resp/s\n";
+  const obs::Histogram& h = tally.latency_us;
+  std::cout << "  latency us: mean " << Fixed(h.mean_micros(), 0) << "  p50 "
+            << Fixed(h.QuantileMicros(0.50), 0) << "  p90 "
+            << Fixed(h.QuantileMicros(0.90), 0) << "  p99 "
+            << Fixed(h.QuantileMicros(0.99), 0) << "  p99.9 "
+            << Fixed(h.QuantileMicros(0.999), 0) << "\n";
+
+  bool clean = lost == 0 && tally.reordered.load() == 0 &&
+               tally.connect_failures.load() == 0 &&
+               received == options.requests;
+  std::cout << (clean ? "RESULT: clean" : "RESULT: FAILED") << "\n";
+  return clean ? 0 : 1;
+}

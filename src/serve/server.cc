@@ -117,6 +117,15 @@ void Server::SubmitLine(const std::string& line,
     done(ResponseLine(id, "ok", "", ""));
     return;
   }
+  if (op == "health") {
+    // Liveness probe: answered inline, never queued, so scheduler
+    // saturation cannot starve it. Reports the lifecycle phase for load
+    // balancers (see the class comment).
+    responses_ok_->Increment();
+    done(ResponseLine(id, "ok", "health",
+                      draining() ? "draining" : "live"));
+    return;
+  }
   if (op == "metrics") {
     responses_ok_->Increment();
     done(ResponseLine(id, "ok", "metrics", metrics_->ExpositionText()));
@@ -134,7 +143,7 @@ void Server::SubmitLine(const std::string& line,
     responses_error_->Increment();
     done(ResponseLine(id, "error", "error",
                       "unknown op '" + op +
-                          "' (verify|answer|metrics|stats|ping)"));
+                          "' (verify|answer|metrics|stats|ping|health)"));
     return;
   }
 

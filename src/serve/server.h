@@ -1,6 +1,7 @@
 #ifndef UCTR_SERVE_SERVER_H_
 #define UCTR_SERVE_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -55,7 +56,20 @@ struct ServerConfig {
 ///   {"id":1,"op":"verify","table":"<csv>","query":"<claim>",
 ///    "paragraph":["..."],"timeout_ms":250}
 ///   {"id":2,"op":"answer","table":"<csv>","query":"<question>"}
-///   {"op":"metrics"}   {"op":"stats"}   {"op":"ping"}
+///   {"op":"metrics"}   {"op":"stats"}   {"op":"ping"}   {"op":"health"}
+///
+/// `health` is the liveness probe: like `stats` it is answered inline on
+/// the caller's thread, without queueing through the scheduler — a
+/// saturated (or deliberately backpressured) worker pool cannot make the
+/// probe time out. The body reports the lifecycle phase so a load
+/// balancer can stop routing to a draining process before its socket
+/// actually closes:
+///
+///   {"id":7,"status":"ok","health":"live"}
+///   {"id":7,"status":"ok","health":"draining"}
+///
+/// The phase flips via set_draining(true) — the TCP front end
+/// (net::Server) does this the moment a graceful shutdown begins.
 ///
 /// One response object per line (no "cached" marker: responses are
 /// byte-identical whether they came from the cache or a worker, so the
@@ -106,6 +120,18 @@ class Server {
   /// \brief Blocks until all submitted requests have completed.
   void Drain();
 
+  /// \brief Flips the phase reported by the `health` op ("live" vs
+  /// "draining"). Thread-safe; set by the serving front end when graceful
+  /// shutdown begins. Draining does not reject work by itself — it only
+  /// tells probes to steer new traffic away while in-flight requests
+  /// finish.
+  void set_draining(bool draining) {
+    draining_.store(draining, std::memory_order_relaxed);
+  }
+  bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
   /// \brief The registry this server records into (the shared default
   /// unless ServerConfig::metrics overrode it).
   MetricsRegistry* metrics() { return metrics_; }
@@ -126,6 +152,7 @@ class Server {
   fault::RetryPolicy retry_;
   fault::CircuitBreaker index_breaker_;
   fault::CircuitBreaker cache_breaker_;
+  std::atomic<bool> draining_{false};
 
   Counter* requests_total_;
   Counter* responses_ok_;

@@ -10,12 +10,23 @@
 //
 //   uctr_serve serve [--verifier_weights F] [--qa_weights F]
 //                    [--workers N] [--queue N] [--cache N]
-//                    [--timeout_ms N] [--metrics] [--trace-out FILE]
+//                    [--timeout_ms N] [--listen HOST:PORT]
+//                    [--metrics] [--trace-out FILE]
 //       Reads one JSON request per stdin line, writes one JSON response
 //       per stdout line in input order. With --metrics, dumps the metrics
 //       exposition to stderr at EOF. SIGINT/SIGTERM shut down gracefully:
 //       stop reading input, drain in-flight requests, then flush
 //       metrics/trace exactly like EOF.
+//
+//       With --listen HOST:PORT the same engine serves length-prefixed
+//       frames over TCP instead of stdio (see README.md "Networking");
+//       port 0 binds an ephemeral port, and the resolved address is
+//       announced on stderr as "listening on HOST:PORT". SIGINT/SIGTERM
+//       drain exactly like stdio mode.
+//
+// Exit status: nonzero on bind/listen failure and whenever a flush write
+// (responses to stdout, metrics exposition, trace dump) fails — exit 0
+// guarantees every requested byte made it out.
 //
 // Either mode with --trace-out FILE enables the process-wide tracer and
 // dumps the recorded spans as ldjson to FILE on exit (most recent
@@ -39,6 +50,8 @@
 #include "common/rng.h"
 #include "fault/fault.h"
 #include "gen/generator.h"
+#include "net/server.h"
+#include "net/socket_util.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "program/library.h"
@@ -231,6 +244,25 @@ int RunTrain(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+/// Shared serve-mode epilogue: flush responses, then metrics, then trace.
+/// Any failed flush write is a nonzero exit — exit 0 must mean every byte
+/// the caller asked for actually made it out.
+int FinishServe(serve::Server& server,
+                const std::map<std::string, std::string>& flags,
+                const std::string& trace_path) {
+  std::cout.flush();
+  if (!std::cout) {
+    return Fail("stdout flush failed; responses may have been lost");
+  }
+  if (flags.count("metrics") != 0) {
+    std::cerr << server.metrics()->ExpositionText();
+    std::cerr.flush();
+    if (!std::cerr) return 1;  // cerr is gone; Fail() could not report it
+  }
+  if (!trace_path.empty()) return DumpTrace(trace_path);
+  return 0;
+}
+
 int RunServe(const std::map<std::string, std::string>& flags) {
   std::string verifier_weights, qa_weights;
   if (auto it = flags.find("verifier_weights"); it != flags.end()) {
@@ -259,6 +291,26 @@ int RunServe(const std::map<std::string, std::string>& flags) {
   serve::Server server(&*engine, server_config);
 
   InstallShutdownHandlers();
+
+  if (auto it = flags.find("listen"); it != flags.end()) {
+    auto host_port = net::ParseHostPort(it->second);
+    if (!host_port.ok()) return Fail(host_port.status().ToString());
+    net::NetServerConfig net_config;
+    net_config.host = host_port->host;
+    net_config.port = host_port->port;
+    net::Server net_server(&server, net_config);
+    if (Status s = net_server.Start(); !s.ok()) {
+      return Fail(s.ToString());  // bind/listen failure: nonzero exit
+    }
+    net_server.set_shutdown_flag(&g_shutdown_requested);
+    // Announced on stderr so scripts can recover an ephemeral port.
+    std::cerr << "uctr_serve: listening on " << host_port->host << ":"
+              << net_server.port() << "\n";
+    net_server.Run();
+    std::cerr << "uctr_serve: drained, shutting down\n";
+    return FinishServe(server, flags, trace_path);
+  }
+
   serve::OrderedResponseWriter writer(
       [](const std::string& line) { std::cout << line << "\n"; });
   std::string line;
@@ -277,12 +329,7 @@ int RunServe(const std::map<std::string, std::string>& flags) {
     std::cerr << "uctr_serve: shutdown signal received, draining\n";
   }
   server.Drain();
-  std::cout.flush();
-  if (flags.count("metrics") != 0) {
-    std::cerr << server.metrics()->ExpositionText();
-  }
-  if (!trace_path.empty()) return DumpTrace(trace_path);
-  return 0;
+  return FinishServe(server, flags, trace_path);
 }
 
 }  // namespace

@@ -5,12 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "arith/executor.h"
 #include "arith/parser.h"
 #include "gen/serialize.h"
 #include "logic/executor.h"
 #include "logic/parser.h"
+#include "net/frame.h"
 #include "program/template.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
@@ -90,6 +92,56 @@ TEST_P(FuzzTest, TemplatePatternsNeverCrash) {
   for (int i = 0; i < 200; ++i) {
     (void)ProgramTemplate::Make(ProgramType::kLogicalForm,
                                 RandomGarbage(&rng_, 120));
+  }
+}
+
+TEST_P(FuzzTest, FrameDecoderNeverCrashes) {
+  // Random byte soup fed in random-size chunks: the decoder may poison or
+  // produce frames, but must never crash, hang, or over-buffer.
+  for (int round = 0; round < 50; ++round) {
+    net::FrameDecoder decoder(4096);
+    std::string stream = RandomGarbage(&rng_, 2000);
+    size_t off = 0;
+    std::string payload;
+    while (off < stream.size()) {
+      size_t chunk = rng_.Index(64) + 1;
+      if (chunk > stream.size() - off) chunk = stream.size() - off;
+      (void)decoder.Feed(stream.data() + off, chunk);
+      off += chunk;
+      while (decoder.Next(&payload)) {
+        EXPECT_LE(payload.size(), 4096u);
+      }
+    }
+  }
+}
+
+TEST_P(FuzzTest, FrameRoundTripSurvivesTornDelivery) {
+  // Encode real frames, deliver them torn at random boundaries, and
+  // require every payload back intact and in order.
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::string> payloads;
+    std::string stream;
+    size_t count = rng_.Index(20) + 1;
+    for (size_t i = 0; i < count; ++i) {
+      payloads.push_back(RandomGarbage(&rng_, 300));
+      stream += net::EncodeFrame(payloads.back()).ValueOrDie();
+    }
+    net::FrameDecoder decoder;
+    size_t off = 0, popped = 0;
+    std::string payload;
+    while (off < stream.size()) {
+      size_t chunk = rng_.Index(97) + 1;
+      if (chunk > stream.size() - off) chunk = stream.size() - off;
+      ASSERT_TRUE(decoder.Feed(stream.data() + off, chunk).ok());
+      off += chunk;
+      while (decoder.Next(&payload)) {
+        ASSERT_LT(popped, payloads.size());
+        EXPECT_EQ(payload, payloads[popped]);
+        ++popped;
+      }
+    }
+    EXPECT_EQ(popped, payloads.size());
+    EXPECT_EQ(decoder.buffered_bytes(), 0u);
   }
 }
 

@@ -426,6 +426,22 @@ TEST(ServerTest, PingAndMetricsOps) {
   EXPECT_NE(metrics.find("requests_total"), std::string::npos);
 }
 
+TEST(ServerTest, HealthOpReportsLiveThenDraining) {
+  ServerConfig config;
+  Server server(&SharedEngine(), config);
+  // Liveness must answer inline — it never queues through the scheduler,
+  // so it works even when every worker is wedged.
+  EXPECT_EQ(server.HandleLine("{\"id\":7,\"op\":\"health\"}"),
+            "{\"id\":7,\"status\":\"ok\",\"health\":\"live\"}");
+  server.set_draining(true);
+  EXPECT_TRUE(server.draining());
+  EXPECT_EQ(server.HandleLine("{\"id\":8,\"op\":\"health\"}"),
+            "{\"id\":8,\"status\":\"ok\",\"health\":\"draining\"}");
+  server.set_draining(false);
+  EXPECT_EQ(server.HandleLine("{\"id\":9,\"op\":\"health\"}"),
+            "{\"id\":9,\"status\":\"ok\",\"health\":\"live\"}");
+}
+
 TEST(ServerTest, StatsOpReturnsPopulatedJson) {
   MetricsRegistry metrics;
   ServerConfig config;
