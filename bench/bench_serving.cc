@@ -5,6 +5,13 @@
 // that the ordered response stream is byte-identical at every worker
 // count. Three passes per worker count:
 //
+// --store runs the table-store comparison instead: the same request
+// stream against one server carrying a 1k-row fixture inline in every
+// request vs another serving it by `table_ref` after one `put_table`,
+// measuring per-request table-parse + index-warm cost from the serving
+// histograms and writing the numbers to BENCH_store.json. Exit 0 requires
+// byte-identical responses and a >= 10x parse+warm reduction.
+//
 //   serve  — cold cache, with a simulated per-request evidence fetch
 //            (a 1.5 ms worker-thread stall via ServerConfig::
 //            pre_execute_hook, standing in for the storage/network I/O a
@@ -19,6 +26,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <mutex>
 #include <string>
@@ -176,6 +184,131 @@ PassResult RunNetPass(serve::Server* backend,
   return result;
 }
 
+/// A 1k-row medal-style fixture: large enough that CSV parse + index warm
+/// dominate per-request cost when the table travels inline.
+std::string MakeBigCsv(int rows) {
+  std::string csv = "nation,gold,silver,bronze,total\n";
+  for (int i = 0; i < rows; ++i) {
+    int gold = (i * 7) % 97, silver = (i * 5) % 89, bronze = (i * 3) % 83;
+    csv += "nation" + std::to_string(i) + "," + std::to_string(gold) + "," +
+           std::to_string(silver) + "," + std::to_string(bronze) + "," +
+           std::to_string(gold + silver + bronze) + "\n";
+  }
+  return csv;
+}
+
+/// The --store comparison: inline 1k-row tables vs table_ref against a
+/// registered copy. Returns true iff responses are byte-identical and the
+/// per-request table-parse + index-warm cost shrinks by >= 10x.
+bool RunStoreComparison(const serve::InferenceEngine& engine) {
+  constexpr int kRows = 1000;
+  constexpr int kRequests = 200;
+  const std::string csv = MakeBigCsv(kRows);
+  const std::string escaped = EscapeForJson(csv);
+
+  // Distinct claims per request, so neither pass ever hits the result
+  // cache and every request pays (or skips) the full evidence cost.
+  auto claim = [](int i) {
+    int row = i % kRows;
+    return "The gold of the row whose nation is nation" +
+           std::to_string(row) + " is " + std::to_string((row * 7) % 97) +
+           ".";
+  };
+  std::vector<std::string> inline_requests, ref_requests;
+  for (int i = 0; i < kRequests; ++i) {
+    inline_requests.push_back("{\"id\":" + std::to_string(i + 1) +
+                              ",\"op\":\"verify\",\"table\":\"" + escaped +
+                              "\",\"query\":\"" + claim(i) + "\"}");
+  }
+
+  serve::ServerConfig config;
+  config.scheduler.num_workers = 4;
+  config.scheduler.queue_capacity = kRequests + 1;
+
+  // Pass 1: the table travels inline in every request.
+  obs::MetricsRegistry inline_metrics;
+  config.metrics = &inline_metrics;
+  serve::Server inline_server(&engine, config);
+  PassResult inline_pass = RunPass(&inline_server, inline_requests);
+  double inline_parse =
+      inline_metrics.histogram("latency_table_parse_us")->sum_micros();
+  double inline_warm =
+      inline_metrics.histogram("latency_index_warm_us")->sum_micros();
+
+  // Pass 2: one put_table, then the same stream by fingerprint.
+  obs::MetricsRegistry ref_metrics;
+  config.metrics = &ref_metrics;
+  serve::Server ref_server(&engine, config);
+  std::string put_response = ref_server.HandleLine(
+      "{\"id\":0,\"op\":\"put_table\",\"table\":\"" + escaped + "\"}");
+  size_t fp_pos = put_response.find("\"fingerprint\":\"");
+  if (fp_pos == std::string::npos) {
+    std::cerr << "bench_serving: put_table failed: " << put_response << "\n";
+    return false;
+  }
+  std::string fingerprint = put_response.substr(fp_pos + 15, 16);
+  // Snapshot after registration so the one-time put cost (which the
+  // histograms also record) stays out of the per-request delta.
+  double put_parse =
+      ref_metrics.histogram("latency_table_parse_us")->sum_micros();
+  double put_warm =
+      ref_metrics.histogram("latency_index_warm_us")->sum_micros();
+  for (int i = 0; i < kRequests; ++i) {
+    ref_requests.push_back("{\"id\":" + std::to_string(i + 1) +
+                           ",\"op\":\"verify\",\"table_ref\":\"" +
+                           fingerprint + "\",\"query\":\"" + claim(i) +
+                           "\"}");
+  }
+  PassResult ref_pass = RunPass(&ref_server, ref_requests);
+  double ref_resolve =
+      ref_metrics.histogram("latency_table_parse_us")->sum_micros() -
+      put_parse;
+  double ref_warm =
+      ref_metrics.histogram("latency_index_warm_us")->sum_micros() - put_warm;
+
+  double n = static_cast<double>(kRequests);
+  double inline_us = (inline_parse + inline_warm) / n;
+  double ref_us = (ref_resolve + ref_warm) / n;
+  double reduction = ref_us > 0.0 ? inline_us / ref_us : 1e9;
+  bool identical = inline_pass.responses == ref_pass.responses;
+  bool fast_enough = reduction >= 10.0;
+
+  std::cout << "table store comparison (" << kRows << "-row fixture, "
+            << kRequests << " cache-missing verify requests, 4 workers):\n"
+            << "  inline JSON   parse+warm " << Fixed(inline_us) << " us/req"
+            << " (parse " << Fixed(inline_parse / n) << ", warm "
+            << Fixed(inline_warm / n) << "), wall "
+            << Fixed(inline_pass.millis) << " ms\n"
+            << "  table_ref     resolve    " << Fixed(ref_us) << " us/req"
+            << ", wall " << Fixed(ref_pass.millis) << " ms\n"
+            << "  evidence-cost reduction " << Fixed(reduction) << "x ("
+            << (fast_enough ? "PASS" : "FAIL — need >= 10x") << ")\n"
+            << "  responses " << (identical ? "byte-identical" : "DIVERGE")
+            << " across the two transports (" << inline_pass.responses.size()
+            << " responses)\n"
+            << "  end-to-end wall speedup "
+            << Fixed(inline_pass.millis / ref_pass.millis, 2) << "x\n";
+
+  std::ofstream out("BENCH_store.json");
+  out << "{\n"
+      << "  \"fixture_rows\": " << kRows << ",\n"
+      << "  \"requests\": " << kRequests << ",\n"
+      << "  \"inline\": {\"table_parse_us_per_req\": "
+      << Fixed(inline_parse / n, 2) << ", \"index_warm_us_per_req\": "
+      << Fixed(inline_warm / n, 2) << ", \"wall_ms\": "
+      << Fixed(inline_pass.millis, 2) << "},\n"
+      << "  \"table_ref\": {\"resolve_us_per_req\": " << Fixed(ref_us, 2)
+      << ", \"wall_ms\": " << Fixed(ref_pass.millis, 2) << "},\n"
+      << "  \"evidence_cost_reduction_x\": " << Fixed(reduction, 2) << ",\n"
+      << "  \"wall_speedup_x\": "
+      << Fixed(inline_pass.millis / ref_pass.millis, 2) << ",\n"
+      << "  \"byte_identical\": " << (identical ? "true" : "false") << ",\n"
+      << "  \"pass\": " << (identical && fast_enough ? "true" : "false")
+      << "\n}\n";
+  std::cout << "  wrote BENCH_store.json\n";
+  return identical && fast_enough;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -183,6 +316,7 @@ int main(int argc, char** argv) {
   // deterministic fault injector armed, to measure the latency/throughput
   // cost of degraded operation (scan fallback, cache bypass, retries).
   bool with_net = false;
+  bool store_only = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto value = [&](const char* what) -> std::string {
@@ -202,9 +336,11 @@ int main(int argc, char** argv) {
       fault::FaultInjector::Global().Seed(std::stoull(value("--fault-seed")));
     } else if (arg == "--net") {
       with_net = true;
+    } else if (arg == "--store") {
+      store_only = true;
     } else {
       std::cerr << "bench_serving: unknown flag " << arg
-                << " (--fault-spec SPEC, --fault-seed N, --net)\n";
+                << " (--fault-spec SPEC, --fault-seed N, --net, --store)\n";
       return 1;
     }
   }
@@ -241,6 +377,8 @@ int main(int argc, char** argv) {
       serve::InferenceEngine::Create(engine_config, verifier.SaveWeights(),
                                      qa.SaveWeights())
           .ValueOrDie();
+
+  if (store_only) return RunStoreComparison(engine) ? 0 : 1;
 
   const std::vector<std::string> requests = BuildRequests(/*num_tables=*/24);
   std::cout << "serving benchmark: " << requests.size()

@@ -17,6 +17,9 @@
 #                                           # uctr_serve --listen, clean
 #                                           # and chaos variants, SIGTERM
 #                                           # drain)
+#   scripts/check.sh store                  # store_test + a put_table/
+#                                           # table_ref loopback soak
+#                                           # (uctr_load --put-table)
 #   UCTR_SANITIZE=thread scripts/check.sh   # TSan, full suite
 #   UCTR_SANITIZE=thread scripts/check.sh index_test serve_test
 set -euo pipefail
@@ -129,6 +132,48 @@ if [[ "${1:-}" == net ]]; then
     'serve.index_warm=error:p=0.5;serve.cache_get=error:p=0.3;sched.dequeue=latency(2):p=0.3' \
     --fault-seed 7
   echo "net ($SANITIZE) check passed"
+  exit 0
+fi
+if [[ "${1:-}" == store ]]; then
+  # Table-store mode: the store unit/integration suite under the
+  # sanitizer, then a put_table/table_ref loopback soak — every connection
+  # registers its fixtures once and drives fingerprint traffic, so the
+  # registry's concurrent Put/Get/evict paths run under the sanitizer with
+  # real sockets in front.
+  ./tests/store_test
+
+  errlog=$(mktemp)
+  ./src/serve/uctr_serve serve --workers 4 --listen 127.0.0.1:0 \
+    2>"$errlog" &
+  serve_pid=$!
+  port=""
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+      "$errlog" | head -n1)
+    [[ -n "$port" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$port" ]]; then
+    echo "store soak: server never announced its port" >&2
+    cat "$errlog" >&2
+    exit 1
+  fi
+  if ! ./src/net/uctr_load --connect "127.0.0.1:$port" \
+      --connections 16 --requests 1280 --pipeline 8 --tables 8 --put-table; then
+    echo "store soak: uctr_load --put-table reported failures" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+  fi
+  kill -TERM "$serve_pid"
+  serve_rc=0
+  wait "$serve_pid" || serve_rc=$?
+  if [[ "$serve_rc" -ne 0 ]]; then
+    echo "store soak: uctr_serve exited $serve_rc after SIGTERM" >&2
+    cat "$errlog" >&2
+    exit 1
+  fi
+  rm -f "$errlog"
+  echo "store ($SANITIZE) check passed"
   exit 0
 fi
 if [[ $# -gt 0 ]]; then

@@ -44,8 +44,21 @@ const char* EvidenceSourceToString(EvidenceSource source);
 struct Sample {
   TaskType task = TaskType::kQuestionAnswering;
   Table table;
+  /// Zero-copy serving: when set, readers see *shared_table (via
+  /// evidence_table()) and `table` stays empty. Non-owning — the caller
+  /// (serve::InferenceEngine borrowing from the store::TableRegistry)
+  /// guarantees the pointee outlives the Sample. Registered tables are
+  /// pre-warmed and safe for concurrent const readers, so many requests
+  /// can share one without copies or index rebuilds.
+  const Table* shared_table = nullptr;
   std::vector<std::string> paragraph;
   std::string sentence;
+
+  /// \brief The evidence table every reader should consult: the borrowed
+  /// registry table when present, the owned one otherwise.
+  const Table& evidence_table() const {
+    return shared_table != nullptr ? *shared_table : table;
+  }
 
   // Gold output: label for fact verification, answer for QA.
   Label label = Label::kSupported;

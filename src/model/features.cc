@@ -42,11 +42,12 @@ void FeatureExtractor::AddAlignment(const Sample& sample,
   if (tokens.empty()) return;
 
   // Token inventory of the evidence.
+  const Table& table = sample.evidence_table();
   std::set<std::string> table_tokens;
   std::set<double> table_numbers;
-  for (size_t r = 0; r < sample.table.num_rows(); ++r) {
-    for (size_t c = 0; c < sample.table.num_columns(); ++c) {
-      const Value& v = sample.table.cell(r, c);
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const Value& v = table.cell(r, c);
       if (v.is_null()) continue;
       for (const std::string& t : WordTokens(v.ToDisplayString())) {
         table_tokens.insert(t);
@@ -54,9 +55,8 @@ void FeatureExtractor::AddAlignment(const Sample& sample,
       if (v.is_number()) table_numbers.insert(v.number());
     }
   }
-  for (size_t c = 0; c < sample.table.num_columns(); ++c) {
-    for (const std::string& t :
-         WordTokens(sample.table.schema().column(c).name)) {
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    for (const std::string& t : WordTokens(table.schema().column(c).name)) {
       table_tokens.insert(t);
     }
   }
@@ -101,7 +101,8 @@ void FeatureExtractor::AddAlignment(const Sample& sample,
 void FeatureExtractor::AddInterpreter(const Sample& sample,
                                       FeatureVector* out) const {
   if (interpreter_ == nullptr) return;
-  auto interp = interpreter_->Interpret(sample.sentence, sample.table,
+  auto interp = interpreter_->Interpret(sample.sentence,
+                                        sample.evidence_table(),
                                         TaskType::kFactVerification);
   if (!interp.ok()) {
     Add(out, "interp:none");

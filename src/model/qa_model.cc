@@ -47,13 +47,14 @@ QaModel::QaModel(QaConfig config,
 std::vector<Interpretation> QaModel::Candidates(const Sample& sample) const {
   std::vector<Interpretation> out;
   if (config_.use_table) {
-    out = interpreter_.RankAll(sample.sentence, sample.table,
+    out = interpreter_.RankAll(sample.sentence, sample.evidence_table(),
                                TaskType::kQuestionAnswering);
   }
   // Expansion reads the table too, so it needs both evidence kinds; the
   // Text-Span-only baseline (use_table = false) must not see cells.
   if (config_.use_table && config_.use_text && !sample.paragraph.empty()) {
-    auto expanded = text_to_table_.Apply(sample.table, sample.paragraph);
+    auto expanded = text_to_table_.Apply(sample.evidence_table(),
+                                         sample.paragraph);
     if (expanded.ok()) {
       std::vector<Interpretation> more = interpreter_.RankAll(
           sample.sentence, expanded.ValueOrDie(),

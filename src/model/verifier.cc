@@ -79,14 +79,17 @@ VerifierModel& VerifierModel::operator=(VerifierModel&& other) noexcept {
   return *this;
 }
 
-Sample VerifierModel::WithTextEvidence(const Sample& sample) const {
+std::optional<Sample> VerifierModel::WithTextEvidence(
+    const Sample& sample) const {
   if (!config_.use_text_expansion || sample.paragraph.empty()) {
-    return sample;
+    return std::nullopt;
   }
-  auto expanded = text_to_table_.Apply(sample.table, sample.paragraph);
-  if (!expanded.ok()) return sample;
+  auto expanded = text_to_table_.Apply(sample.evidence_table(),
+                                       sample.paragraph);
+  if (!expanded.ok()) return std::nullopt;
   Sample out = sample;
   out.table = std::move(expanded).ValueOrDie();
+  out.shared_table = nullptr;  // readers must see the expanded copy
   return out;
 }
 
@@ -98,7 +101,8 @@ void VerifierModel::Train(const Dataset& data, Rng* rng) {
     int label = LabelToClass(s.label);
     if (label >= config_.num_classes) continue;  // Unknown in 2-way mode
     Example ex;
-    ex.features = extractor_.Extract(WithTextEvidence(s));
+    std::optional<Sample> expanded = WithTextEvidence(s);
+    ex.features = extractor_.Extract(expanded ? *expanded : s);
     ex.label = label;
     examples.push_back(std::move(ex));
   }
@@ -106,7 +110,8 @@ void VerifierModel::Train(const Dataset& data, Rng* rng) {
 }
 
 Label VerifierModel::Predict(const Sample& sample) const {
-  FeatureVector features = extractor_.Extract(WithTextEvidence(sample));
+  std::optional<Sample> expanded = WithTextEvidence(sample);
+  FeatureVector features = extractor_.Extract(expanded ? *expanded : sample);
   return ClassToLabel(model_.Predict(features));
 }
 

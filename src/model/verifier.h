@@ -1,6 +1,7 @@
 #ifndef UCTR_MODEL_VERIFIER_H_
 #define UCTR_MODEL_VERIFIER_H_
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -74,8 +75,10 @@ class VerifierModel {
   Status LoadWeights(std::string_view text);
 
  private:
-  /// The sample with its paragraph folded into the table when possible.
-  Sample WithTextEvidence(const Sample& sample) const;
+  /// The sample with its paragraph folded into the table, or nullopt
+  /// when no expansion applies — callers keep using the original Sample
+  /// then, so the common no-paragraph serving path never copies a table.
+  std::optional<Sample> WithTextEvidence(const Sample& sample) const;
 
   /// Points extractor_ at this object's interpreter_ (or null when
   /// interpreter features are disabled). Called after copy/move.

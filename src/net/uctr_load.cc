@@ -1,7 +1,7 @@
 // uctr_load — multi-connection load generator for `uctr_serve --listen`.
 //
 //   uctr_load --connect HOST:PORT [--connections N] [--requests N]
-//             [--qps Q] [--pipeline D] [--tables T]
+//             [--qps Q] [--pipeline D] [--tables T] [--put-table]
 //             [--op verify|answer|mixed] [--timeout-ms N]
 //
 // Drives the TCP serving front end with N concurrent connections:
@@ -19,6 +19,15 @@
 // ids are sequential, so response ids must come back in exactly the sent
 // order — any hole or swap counts as lost/reordered and fails the run.
 // Latency percentiles come from a shared lock-free obs::Histogram.
+//
+// --put-table switches to table_ref traffic: each connection first
+// registers its --tables fixture variants via `put_table` (synchronously —
+// a fingerprint is only knowable from the put response, so refs are never
+// sent before the registration round-trips) and then drives the same
+// request stream with `table_ref` instead of inline CSV. Registration
+// round-trips are reported as a separate "registry" latency histogram so
+// the steady-state transport percentiles are not polluted by the one-time
+// warm-up cost.
 //
 // Exit status: 0 iff every request got an in-order response and no
 // connection failed.
@@ -52,6 +61,7 @@ struct Options {
   double qps = 0.0;        // 0 = closed loop
   size_t pipeline = 1;
   size_t tables = 16;
+  bool put_table = false;  // register fixtures once, then table_ref traffic
   std::string op = "mixed";
   int timeout_ms = 30000;
   int connect_retries = 50;  // the soak starts server + load concurrently
@@ -69,7 +79,9 @@ struct Tally {
   std::atomic<uint64_t> lost{0};
   std::atomic<uint64_t> reordered{0};
   std::atomic<uint64_t> connect_failures{0};
+  std::atomic<uint64_t> put_failures{0};
   obs::Histogram latency_us;
+  obs::Histogram registry_us;  ///< put_table round-trips (--put-table only)
 };
 
 std::string EscapeForJson(const std::string& text) {
@@ -111,6 +123,52 @@ std::string BuildRequest(uint64_t id, size_t variant, bool verify) {
          ",\"op\":\"answer\",\"table\":\"" + csv +
          "\",\"query\":\"What was the gold of the row whose nation is "
          "united states?\"}";
+}
+
+/// The --put-table request stream: same ids, ops, and queries as
+/// BuildRequest, but the evidence travels as a registry fingerprint.
+std::string BuildRefRequest(uint64_t id, size_t variant,
+                            const std::string& fingerprint, bool verify) {
+  if (verify) {
+    return "{\"id\":" + std::to_string(id) +
+           ",\"op\":\"verify\",\"table_ref\":\"" + fingerprint +
+           "\",\"query\":\"The gold of the row whose nation is china is " +
+           std::to_string(8 + variant) + ".\"}";
+  }
+  return "{\"id\":" + std::to_string(id) +
+         ",\"op\":\"answer\",\"table_ref\":\"" + fingerprint +
+         "\",\"query\":\"What was the gold of the row whose nation is "
+         "united states?\"}";
+}
+
+/// Registers every table variant over `client`, one synchronous
+/// `put_table` round-trip each (ids 1..tables), recording each round-trip
+/// in the registry histogram. Returns the fingerprints by variant, or an
+/// empty vector on any failure.
+std::vector<std::string> RegisterTables(net::Client* client,
+                                        const Options& options,
+                                        Tally* tally) {
+  std::vector<std::string> fingerprints;
+  fingerprints.reserve(options.tables);
+  for (size_t variant = 0; variant < options.tables; ++variant) {
+    std::string request = "{\"id\":" + std::to_string(variant + 1) +
+                          ",\"op\":\"put_table\",\"table\":\"" +
+                          EscapeForJson(MakeCsv(variant)) + "\"}";
+    Clock::time_point sent_at = Clock::now();
+    if (!client->Send(request).ok()) return {};
+    auto line = client->RecvTimeout(options.timeout_ms);
+    if (!line.ok()) return {};
+    tally->registry_us.Observe(
+        std::chrono::duration<double, std::micro>(Clock::now() - sent_at)
+            .count());
+    auto parsed = json::Parse(*line);
+    if (!parsed.ok() || !parsed->is_object()) return {};
+    std::string fingerprint =
+        json::GetStringOr(parsed->as_object(), "fingerprint", "");
+    if (fingerprint.empty()) return {};
+    fingerprints.push_back(std::move(fingerprint));
+  }
+  return fingerprints;
 }
 
 /// Parses a response line and scores it against the expected id. The id
@@ -169,8 +227,28 @@ void RunConnection(const Options& options, size_t conn_index,
     return;
   }
 
+  std::vector<std::string> fingerprints;
+  if (options.put_table) {
+    fingerprints = RegisterTables(&client.ValueOrDie(), options, tally);
+    if (fingerprints.size() != options.tables) {
+      tally->put_failures.fetch_add(1, std::memory_order_relaxed);
+      tally->lost.fetch_add(my_requests, std::memory_order_relaxed);
+      return;
+    }
+  }
+  // Ids stay sequential across the put phase and the traffic phase so the
+  // per-connection ordering check keeps working.
+  const uint64_t id0 = options.put_table ? options.tables : 0;
+
   std::deque<Clock::time_point> send_times;
-  uint64_t next_recv_id = 1;
+  uint64_t next_recv_id = id0 + 1;
+  auto build = [&](uint64_t id) {
+    size_t variant = (conn_index + id) % options.tables;
+    bool verify = WantVerify(options, id);
+    return options.put_table
+               ? BuildRefRequest(id, variant, fingerprints[variant], verify)
+               : BuildRequest(id, variant, verify);
+  };
   auto reap_one = [&](int timeout_ms) -> bool {
     auto line = client->RecvTimeout(timeout_ms);
     if (!line.ok()) return false;
@@ -185,13 +263,11 @@ void RunConnection(const Options& options, size_t conn_index,
 
   if (options.qps <= 0.0) {
     // Closed loop: a bounded window of outstanding requests.
-    for (uint64_t id = 1; id <= my_requests; ++id) {
+    for (uint64_t id = id0 + 1; id <= id0 + my_requests; ++id) {
       while (send_times.size() >= options.pipeline) {
         if (!reap_one(options.timeout_ms)) goto drain;
       }
-      std::string request =
-          BuildRequest(id, (conn_index + id) % options.tables,
-                       WantVerify(options, id));
+      std::string request = build(id);
       send_times.push_back(Clock::now());
       if (!client->Send(request).ok()) break;
       tally->sent.fetch_add(1, std::memory_order_relaxed);
@@ -203,7 +279,7 @@ void RunConnection(const Options& options, size_t conn_index,
     auto interval = std::chrono::duration_cast<Clock::duration>(
         std::chrono::duration<double>(1.0 / per_conn_qps));
     Clock::time_point next_send = Clock::now();
-    for (uint64_t id = 1; id <= my_requests; ++id) {
+    for (uint64_t id = id0 + 1; id <= id0 + my_requests; ++id) {
       while (Clock::now() < next_send) {
         if (!send_times.empty()) {
           reap_one(0);  // poll; never delays the schedule
@@ -211,9 +287,7 @@ void RunConnection(const Options& options, size_t conn_index,
           std::this_thread::sleep_for(std::chrono::microseconds(200));
         }
       }
-      std::string request =
-          BuildRequest(id, (conn_index + id) % options.tables,
-                       WantVerify(options, id));
+      std::string request = build(id);
       send_times.push_back(Clock::now());
       if (!client->Send(request).ok()) break;
       tally->sent.fetch_add(1, std::memory_order_relaxed);
@@ -251,8 +325,8 @@ int main(int argc, char** argv) {
     if (auto eq = key.find('='); eq != std::string::npos) {
       value = key.substr(eq + 1);
       key = key.substr(0, eq);
-    } else if (i + 1 < argc) {
-      value = argv[++i];
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];  // bare flags (--put-table) stay "1"
     }
     flags[key] = value;
   }
@@ -261,7 +335,7 @@ int main(int argc, char** argv) {
     return Fail(
         "usage: uctr_load --connect HOST:PORT [--connections N] "
         "[--requests N] [--qps Q] [--pipeline D] [--tables T] "
-        "[--op verify|answer|mixed] [--timeout-ms N]");
+        "[--put-table] [--op verify|answer|mixed] [--timeout-ms N]");
   }
   auto host_port = net::ParseHostPort(connect_it->second);
   if (!host_port.ok()) return Fail(host_port.status().ToString());
@@ -274,6 +348,7 @@ int main(int argc, char** argv) {
   if (flags.count("qps")) options.qps = std::stod(flags["qps"]);
   if (flags.count("pipeline")) options.pipeline = std::stoul(flags["pipeline"]);
   if (flags.count("tables")) options.tables = std::stoul(flags["tables"]);
+  if (flags.count("put-table")) options.put_table = flags["put-table"] != "0";
   if (flags.count("op")) options.op = flags["op"];
   if (flags.count("timeout-ms")) options.timeout_ms = std::stoi(flags["timeout-ms"]);
   if (options.connections == 0 || options.pipeline == 0 ||
@@ -306,27 +381,40 @@ int main(int argc, char** argv) {
                     ? "open loop @ " + Fixed(options.qps, 0) + " qps"
                     : "closed loop (pipeline " +
                           std::to_string(options.pipeline) + ")")
-            << ", op " << options.op << "\n";
+            << ", op " << options.op
+            << (options.put_table ? ", table_ref (put-table)" : "") << "\n";
   std::cout << "  sent " << sent << ", responses " << received << " (ok "
             << tally.ok.load() << ", error " << tally.error.load()
             << ", rejected " << tally.rejected.load() << ", timeout "
             << tally.timeout.load() << ", other "
             << tally.other_status.load() << ")\n";
   std::cout << "  lost " << lost << ", reordered " << tally.reordered.load()
-            << ", connect failures " << tally.connect_failures.load()
-            << "\n";
+            << ", connect failures " << tally.connect_failures.load();
+  if (options.put_table) {
+    std::cout << ", put failures " << tally.put_failures.load();
+  }
+  std::cout << "\n";
   std::cout << "  wall " << Fixed(wall_s, 2) << " s, achieved "
             << Fixed(received / (wall_s > 0 ? wall_s : 1.0), 0)
             << " resp/s\n";
   const obs::Histogram& h = tally.latency_us;
-  std::cout << "  latency us: mean " << Fixed(h.mean_micros(), 0) << "  p50 "
-            << Fixed(h.QuantileMicros(0.50), 0) << "  p90 "
+  std::cout << "  transport latency us: mean " << Fixed(h.mean_micros(), 0)
+            << "  p50 " << Fixed(h.QuantileMicros(0.50), 0) << "  p90 "
             << Fixed(h.QuantileMicros(0.90), 0) << "  p99 "
             << Fixed(h.QuantileMicros(0.99), 0) << "  p99.9 "
             << Fixed(h.QuantileMicros(0.999), 0) << "\n";
+  if (options.put_table) {
+    const obs::Histogram& r = tally.registry_us;
+    std::cout << "  registry latency us (" << r.count()
+              << " put_table round-trips): mean " << Fixed(r.mean_micros(), 0)
+              << "  p50 " << Fixed(r.QuantileMicros(0.50), 0) << "  p90 "
+              << Fixed(r.QuantileMicros(0.90), 0) << "  p99 "
+              << Fixed(r.QuantileMicros(0.99), 0) << "\n";
+  }
 
   bool clean = lost == 0 && tally.reordered.load() == 0 &&
                tally.connect_failures.load() == 0 &&
+               tally.put_failures.load() == 0 &&
                received == options.requests;
   std::cout << (clean ? "RESULT: clean" : "RESULT: FAILED") << "\n";
   return clean ? 0 : 1;

@@ -51,15 +51,22 @@ class InferenceEngine {
                                         std::string_view qa_weights);
 
   /// \brief Verdict for `claim` over `table` (+ optional paragraph
-  /// sentences): "Supported", "Refuted", or "Unknown". Takes the table by
-  /// value: pass an rvalue to carry a warmed TableIndex into inference
-  /// (lvalues are copied and the copy's index builds lazily on first use).
-  std::string Verify(Table table, const std::string& claim,
+  /// sentences): "Supported", "Refuted", or "Unknown". The rvalue
+  /// overload moves the table in, carrying a warmed TableIndex with it;
+  /// the lvalue overload BORROWS the table for the duration of the call —
+  /// zero copy, zero index rebuild — which is how table_ref serving
+  /// shares one registry-resident table across concurrent requests (the
+  /// caller keeps the table alive, e.g. via the registry's shared_ptr).
+  std::string Verify(Table&& table, const std::string& claim,
+                     const std::vector<std::string>& paragraph) const;
+  std::string Verify(const Table& table, const std::string& claim,
                      const std::vector<std::string>& paragraph) const;
 
   /// \brief Answer display string for `question`; empty when the model
-  /// abstains. Same table-by-value contract as Verify.
-  std::string Answer(Table table, const std::string& question,
+  /// abstains. Same table move/borrow contract as Verify.
+  std::string Answer(Table&& table, const std::string& question,
+                     const std::vector<std::string>& paragraph) const;
+  std::string Answer(const Table& table, const std::string& question,
                      const std::vector<std::string>& paragraph) const;
 
   /// \brief The claim templates the serving verifier interprets with.

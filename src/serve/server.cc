@@ -71,6 +71,9 @@ Server::Server(const InferenceEngine* engine, ServerConfig config)
       tracer_(config.tracer != nullptr ? config.tracer
                                        : &obs::Tracer::Default()),
       cache_(config.cache_capacity, config.cache_shards, metrics_),
+      registry_(store::RegistryConfig{config.store_capacity_bytes,
+                                      config.store_shards},
+                metrics_),
       scheduler_(config.scheduler, metrics_),
       retry_(config.retry, /*seed=*/0x5EEDULL, metrics_),
       index_breaker_("index", config.breaker, metrics_),
@@ -85,6 +88,8 @@ Server::Server(const InferenceEngine* engine, ServerConfig config)
           metrics_->counter("degraded_index_fallback_total")),
       degraded_cache_bypass_(
           metrics_->counter("degraded_cache_bypass_total")),
+      degraded_store_fallback_(
+          metrics_->counter("degraded_store_fallback_total")),
       execute_us_(metrics_->histogram("latency_execute_us")),
       table_parse_us_(metrics_->histogram("latency_table_parse_us")),
       index_warm_us_(metrics_->histogram("latency_index_warm_us")) {}
@@ -139,61 +144,16 @@ void Server::SubmitLine(const std::string& line,
          ",\"status\":\"ok\",\"stats\":" + StatsJson() + "}");
     return;
   }
-  if (op != "verify" && op != "answer") {
+  if (op != "verify" && op != "answer" && op != "put_table") {
     responses_error_->Increment();
-    done(ResponseLine(id, "error", "error",
-                      "unknown op '" + op +
-                          "' (verify|answer|metrics|stats|ping|health)"));
+    done(ResponseLine(
+        id, "error", "error",
+        "unknown op '" + op +
+            "' (verify|answer|put_table|metrics|stats|ping|health)"));
     return;
   }
 
-  auto csv = json::GetString(obj, "table");
-  auto query = json::GetString(obj, "query");
-  if (!csv.ok() || !query.ok()) {
-    responses_error_->Increment();
-    done(ResponseLine(id, "error", "error",
-                      (!csv.ok() ? csv.status() : query.status()).ToString()));
-    return;
-  }
-  std::vector<std::string> paragraph;
-  if (auto it = obj.find("paragraph");
-      it != obj.end() && it->second.is_array()) {
-    for (const json::Value& entry : it->second.as_array()) {
-      if (entry.is_string()) paragraph.push_back(entry.as_string());
-    }
-  }
-
-  // Cache probe on the raw evidence text: no parsing on the hit path.
-  // Paragraph sentences are part of the evidence, so they join the
-  // fingerprint (same claim + same table + different text may differ).
-  // An injected cache fault (or an open cache breaker) degrades the
-  // request to cache bypass: the worker recomputes the identical body.
-  uint64_t fp = ResultCache::FingerprintCsv(*csv);
-  for (const std::string& sentence : paragraph) {
-    fp = ResultCache::FingerprintCsv(sentence) ^ (fp * 1099511628211ull);
-  }
-  std::string cache_key = op + "\x1f" + ResultCache::NormalizeQuery(*query);
-  bool cache_bypassed = false;
-  if (cache_breaker_.Allow()) {
-    Status cache_fault = UCTR_FAULT_POINT("serve.cache_get");
-    if (cache_fault.ok()) {
-      cache_breaker_.RecordSuccess();
-      if (auto hit = cache_.Get(fp, cache_key)) {
-        // Rewrite the id: the cached body is id-independent.
-        responses_ok_->Increment();
-        done(ResponseLine(id, "ok", op == "verify" ? "label" : "answer",
-                          *hit));
-        return;
-      }
-    } else {
-      cache_breaker_.RecordFailure();
-      cache_bypassed = true;
-    }
-  } else {
-    cache_bypassed = true;
-  }
-  if (cache_bypassed) degraded_cache_bypass_->Increment();
-
+  // Deadline + completion plumbing shared by every queued op.
   double timeout_ms = json::GetNumberOr(
       obj, "timeout_ms", static_cast<double>(config_.default_timeout_ms));
   Scheduler::Job job;
@@ -207,50 +167,236 @@ void Server::SubmitLine(const std::string& line,
                    std::chrono::microseconds(
                        static_cast<int64_t>(timeout_ms * 1000.0));
   }
-
-  // The worker owns the parsed request pieces via the closure.
   auto shared_done =
       std::make_shared<std::function<void(std::string)>>(std::move(done));
+  job.on_expired = [this, id, shared_done] {
+    responses_timeout_->Increment();
+    (*shared_done)(
+        ResponseLine(id, "timeout", "error", "deadline expired in queue"));
+  };
+  // Admission itself is an injection site (stands in for a faulted front
+  // door / listener); injected faults behave exactly like scheduler
+  // rejections.
+  auto submit = [this, id, shared_done](Scheduler::Job to_submit) {
+    Status submitted = UCTR_FAULT_POINT("serve.submit");
+    if (submitted.ok()) submitted = scheduler_.Submit(std::move(to_submit));
+    if (!submitted.ok()) {
+      if (submitted.code() == StatusCode::kDeadlineExceeded) {
+        // Deadline-aware admission control shed the job before it queued:
+        // answer "timeout" (the deadline is the reason), not "rejected".
+        responses_timeout_->Increment();
+        (*shared_done)(
+            ResponseLine(id, "timeout", "error", submitted.message()));
+      } else {
+        responses_rejected_->Increment();
+        (*shared_done)(ResponseLine(id, "rejected", "error",
+                                    submitted.message()));
+      }
+    }
+  };
+
+  auto csv = json::GetString(obj, "table");
+
+  if (op == "put_table") {
+    // Registration parses + encodes + index-warms, so it rides through
+    // the scheduler like inference does instead of stalling the caller
+    // (which is the net front end's event-loop thread).
+    if (!csv.ok()) {
+      responses_error_->Increment();
+      (*shared_done)(
+          ResponseLine(id, "error", "error", csv.status().ToString()));
+      return;
+    }
+    job.run = [this, id, csv = std::move(*csv), shared_done] {
+      if (config_.pre_execute_hook) config_.pre_execute_hook();
+      obs::Span put_span = tracer_->StartSpan("serve.put_table");
+      Result<Table> table = Status::Unavailable("table parse never ran");
+      Status parse_status = retry_.Run("serve.table_parse", [&] {
+        auto parse_started = Scheduler::Clock::now();
+        Status fault = UCTR_FAULT_POINT("serve.table_parse");
+        if (fault.ok()) {
+          table = Table::FromCsv(csv);
+        } else {
+          table = fault;
+        }
+        table_parse_us_->Observe(std::chrono::duration<double, std::micro>(
+                                     Scheduler::Clock::now() - parse_started)
+                                     .count());
+        return table.status();
+      });
+      if (!parse_status.ok()) {
+        responses_error_->Increment();
+        put_span.AddAttr("error", "table_parse");
+        (*shared_done)(ResponseLine(id, "error", "error",
+                                    "table: " + parse_status.ToString()));
+        return;
+      }
+      Status store_fault = UCTR_FAULT_POINT("serve.store_put");
+      if (!store_fault.ok()) {
+        responses_error_->Increment();
+        put_span.AddAttr("error", "store_put");
+        (*shared_done)(ResponseLine(id, "error", "error",
+                                    "store: " + store_fault.ToString()));
+        return;
+      }
+      auto warm_started = Scheduler::Clock::now();
+      Result<store::PutResult> put = registry_.Put(std::move(*table));
+      // Put warms the stored table's index; account it where inline
+      // requests account theirs so the amortization is visible.
+      index_warm_us_->Observe(std::chrono::duration<double, std::micro>(
+                                  Scheduler::Clock::now() - warm_started)
+                                  .count());
+      if (!put.ok()) {
+        responses_error_->Increment();
+        put_span.AddAttr("error", "store_put");
+        (*shared_done)(ResponseLine(id, "error", "error",
+                                    "store: " + put.status().ToString()));
+        return;
+      }
+      put_span.AddAttr("fingerprint", put->fingerprint);
+      responses_ok_->Increment();
+      (*shared_done)(
+          ResponseLine(id, "ok", "fingerprint", put->fingerprint));
+    };
+    submit(std::move(job));
+    return;
+  }
+
+  auto query = json::GetString(obj, "query");
+  if (!query.ok()) {
+    responses_error_->Increment();
+    (*shared_done)(
+        ResponseLine(id, "error", "error", query.status().ToString()));
+    return;
+  }
+  std::string table_ref = json::GetStringOr(obj, "table_ref", "");
+
+  // table_ref resolution happens here on the caller's thread: the
+  // shared_ptr is captured into the job, so an eviction between now and
+  // execution cannot free the table out from under the worker. A miss
+  // (or an injected registry fault) falls back to the inline table when
+  // the request carries one — byte-identical answer, marked degraded.
+  std::shared_ptr<const Table> shared;
+  bool store_fallback = false;
+  if (!table_ref.empty()) {
+    auto resolve_started = Scheduler::Clock::now();
+    Status get_fault = UCTR_FAULT_POINT("serve.store_get");
+    if (get_fault.ok()) shared = registry_.Get(table_ref);
+    if (shared != nullptr) {
+      // The borrowed table is pre-parsed and pre-warmed; feed the lookup
+      // cost into the same histograms the inline path feeds so the two
+      // paths stay comparable per request.
+      table_parse_us_->Observe(std::chrono::duration<double, std::micro>(
+                                   Scheduler::Clock::now() - resolve_started)
+                                   .count());
+      index_warm_us_->Observe(0.0);
+    } else if (csv.ok()) {
+      store_fallback = true;
+      degraded_store_fallback_->Increment();
+    } else {
+      responses_error_->Increment();
+      (*shared_done)(ResponseLine(
+          id, "error", "error",
+          "table_ref '" + table_ref +
+              "' is not registered and the request has no inline table"));
+      return;
+    }
+  } else if (!csv.ok()) {
+    responses_error_->Increment();
+    (*shared_done)(
+        ResponseLine(id, "error", "error", csv.status().ToString()));
+    return;
+  }
+
+  std::vector<std::string> paragraph;
+  if (auto it = obj.find("paragraph");
+      it != obj.end() && it->second.is_array()) {
+    for (const json::Value& entry : it->second.as_array()) {
+      if (entry.is_string()) paragraph.push_back(entry.as_string());
+    }
+  }
+
+  // Cache probe on the raw evidence text: no parsing on the hit path.
+  // Registered tables fingerprint by their content-addressed ref (same
+  // content -> same ref -> same entry). Paragraph sentences are part of
+  // the evidence, so they join the fingerprint (same claim + same table
+  // + different text may differ). An injected cache fault (or an open
+  // cache breaker) degrades the request to cache bypass: the worker
+  // recomputes the identical body.
+  uint64_t fp = shared != nullptr ? ResultCache::FingerprintCsv(table_ref)
+                                  : ResultCache::FingerprintCsv(*csv);
+  for (const std::string& sentence : paragraph) {
+    fp = ResultCache::FingerprintCsv(sentence) ^ (fp * 1099511628211ull);
+  }
+  std::string cache_key = op + "\x1f" + ResultCache::NormalizeQuery(*query);
+  bool cache_bypassed = false;
+  if (cache_breaker_.Allow()) {
+    Status cache_fault = UCTR_FAULT_POINT("serve.cache_get");
+    if (cache_fault.ok()) {
+      cache_breaker_.RecordSuccess();
+      if (auto hit = cache_.Get(fp, cache_key)) {
+        // Rewrite the id: the cached body is id-independent.
+        responses_ok_->Increment();
+        (*shared_done)(ResponseLine(
+            id, "ok", op == "verify" ? "label" : "answer", *hit));
+        return;
+      }
+    } else {
+      cache_breaker_.RecordFailure();
+      cache_bypassed = true;
+    }
+  } else {
+    cache_bypassed = true;
+  }
+  if (cache_bypassed) degraded_cache_bypass_->Increment();
+
+  // The worker owns the parsed request pieces via the closure. When the
+  // registry served the table, `shared` keeps it alive and csv_text is
+  // only a fallback artifact (empty unless the request carried both).
+  std::string csv_text = csv.ok() ? std::move(*csv) : std::string();
   auto submitted_at = Scheduler::Clock::now();
-  job.run = [this, id, op, csv = std::move(*csv),
-             query = std::move(*query), paragraph = std::move(paragraph),
-             fp, cache_key, cache_bypassed, shared_done, submitted_at] {
+  job.run = [this, id, op, csv = std::move(csv_text), shared,
+             store_fallback, query = std::move(*query),
+             paragraph = std::move(paragraph), fp, cache_key,
+             cache_bypassed, shared_done, submitted_at] {
     if (config_.pre_execute_hook) config_.pre_execute_hook();
     auto started = Scheduler::Clock::now();
     obs::Span request_span = tracer_->StartSpan("serve.request");
     request_span.AddAttr("op", op);
+    if (shared != nullptr) request_span.AddAttr("table", "registry");
     request_span.AddAttr(
         "queue_wait_us",
         std::to_string(std::chrono::duration_cast<std::chrono::microseconds>(
                            started - submitted_at)
                            .count()));
-    bool degraded = cache_bypassed;
+    bool degraded = cache_bypassed || store_fallback;
     // Table parse, retried on transient faults only: an organic CSV error
     // is permanent (retrying cannot fix malformed evidence) and fails the
-    // attempt loop on its first pass.
+    // attempt loop on its first pass. Registry-served requests skip the
+    // stage entirely — the stored table was parsed at put_table time.
     Result<Table> table = Status::Unavailable("table parse never ran");
-    Status parse_status = retry_.Run("serve.table_parse", [&] {
-      obs::Span parse_span = tracer_->StartSpan("serve.table_parse");
-      auto parse_started = Scheduler::Clock::now();
-      Status fault = UCTR_FAULT_POINT("serve.table_parse");
-      if (fault.ok()) {
-        table = Table::FromCsv(csv);
-      } else {
-        table = fault;
+    if (shared == nullptr) {
+      Status parse_status = retry_.Run("serve.table_parse", [&] {
+        obs::Span parse_span = tracer_->StartSpan("serve.table_parse");
+        auto parse_started = Scheduler::Clock::now();
+        Status fault = UCTR_FAULT_POINT("serve.table_parse");
+        if (fault.ok()) {
+          table = Table::FromCsv(csv);
+        } else {
+          table = fault;
+        }
+        table_parse_us_->Observe(std::chrono::duration<double, std::micro>(
+                                     Scheduler::Clock::now() - parse_started)
+                                     .count());
+        return table.status();
+      });
+      if (!parse_status.ok()) {
+        responses_error_->Increment();
+        request_span.AddAttr("error", "table_parse");
+        (*shared_done)(ResponseLine(id, "error", "error",
+                                    "table: " + parse_status.ToString()));
+        return;
       }
-      table_parse_us_->Observe(std::chrono::duration<double, std::micro>(
-                                   Scheduler::Clock::now() - parse_started)
-                                   .count());
-      return table.status();
-    });
-    if (!parse_status.ok()) {
-      responses_error_->Increment();
-      request_span.AddAttr("error", "table_parse");
-      (*shared_done)(ResponseLine(id, "error", "error",
-                                  "table: " + parse_status.ToString()));
-      return;
-    }
-    {
       // Build the per-table index once at load; moving the table into
       // the engine carries it through every template execution of the
       // request. An index-warm fault — or an index breaker opened by
@@ -298,9 +444,16 @@ void Server::SubmitLine(const std::string& line,
     {
       obs::Span exec_span = tracer_->StartSpan("serve.execute");
       auto exec_started = Scheduler::Clock::now();
-      body = op == "verify"
-                 ? engine_->Verify(std::move(*table), query, paragraph)
-                 : engine_->Answer(std::move(*table), query, paragraph);
+      if (shared != nullptr) {
+        // Borrow: zero copy, zero warm; many requests share this table.
+        body = op == "verify"
+                   ? engine_->Verify(*shared, query, paragraph)
+                   : engine_->Answer(*shared, query, paragraph);
+      } else {
+        body = op == "verify"
+                   ? engine_->Verify(std::move(*table), query, paragraph)
+                   : engine_->Answer(std::move(*table), query, paragraph);
+      }
       execute_us_->Observe(std::chrono::duration<double, std::micro>(
                                Scheduler::Clock::now() - exec_started)
                                .count());
@@ -333,30 +486,7 @@ void Server::SubmitLine(const std::string& line,
                                 op == "verify" ? "label" : "answer", body,
                                 degraded));
   };
-  job.on_expired = [this, id, shared_done] {
-    responses_timeout_->Increment();
-    (*shared_done)(
-        ResponseLine(id, "timeout", "error", "deadline expired in queue"));
-  };
-
-  // Admission itself is an injection site (stands in for a faulted front
-  // door / listener); injected faults behave exactly like scheduler
-  // rejections.
-  Status submitted = UCTR_FAULT_POINT("serve.submit");
-  if (submitted.ok()) submitted = scheduler_.Submit(std::move(job));
-  if (!submitted.ok()) {
-    if (submitted.code() == StatusCode::kDeadlineExceeded) {
-      // Deadline-aware admission control shed the job before it queued:
-      // answer "timeout" (the deadline is the reason), not "rejected".
-      responses_timeout_->Increment();
-      (*shared_done)(
-          ResponseLine(id, "timeout", "error", submitted.message()));
-    } else {
-      responses_rejected_->Increment();
-      (*shared_done)(ResponseLine(id, "rejected", "error",
-                                  submitted.message()));
-    }
-  }
+  submit(std::move(job));
 }
 
 std::string Server::StatsJson() const {
@@ -375,9 +505,17 @@ std::string Server::StatsJson() const {
   out += ",\"degraded_cache_bypass_total\":" +
          count("degraded_cache_bypass_total");
   out += ",\"jobs_shed_deadline_total\":" + count("jobs_shed_deadline_total");
+  out += ",\"degraded_store_fallback_total\":" +
+         count("degraded_store_fallback_total");
   out += ",\"cache_hits_total\":" + count("cache_hits_total");
   out += ",\"cache_misses_total\":" + count("cache_misses_total");
   out += ",\"cache_size\":" + std::to_string(cache_.size());
+  out += ",\"store_puts_total\":" + count("store_puts_total");
+  out += ",\"store_hits_total\":" + count("store_hits_total");
+  out += ",\"store_misses_total\":" + count("store_misses_total");
+  out += ",\"store_evictions_total\":" + count("store_evictions_total");
+  out += ",\"store_tables\":" + std::to_string(registry_.table_count());
+  out += ",\"store_bytes\":" + std::to_string(registry_.bytes());
   out += ",\"queue_depth\":" + std::to_string(scheduler_.QueueDepth());
   out += ",\"workers\":" + std::to_string(scheduler_.num_workers());
   Histogram* execute = metrics_->histogram("latency_execute_us");

@@ -15,6 +15,7 @@
 #include "serve/engine.h"
 #include "serve/result_cache.h"
 #include "serve/scheduler.h"
+#include "store/registry.h"
 
 namespace uctr::serve {
 
@@ -47,6 +48,12 @@ struct ServerConfig {
   /// Circuit-breaker shape shared by the per-dependency breakers (index
   /// warming, result cache).
   fault::CircuitBreakerOptions breaker;
+  /// Byte budget of the content-addressed table registry behind
+  /// `put_table`/`table_ref` (store::TableRegistry). The registry is
+  /// always on; the budget only bounds how many registered tables stay
+  /// resident before LRU eviction.
+  size_t store_capacity_bytes = 64ull << 20;
+  size_t store_shards = 8;
 };
 
 /// \brief The request/response front of the serving subsystem.
@@ -56,7 +63,19 @@ struct ServerConfig {
 ///   {"id":1,"op":"verify","table":"<csv>","query":"<claim>",
 ///    "paragraph":["..."],"timeout_ms":250}
 ///   {"id":2,"op":"answer","table":"<csv>","query":"<question>"}
+///   {"id":3,"op":"put_table","table":"<csv>"}
+///   {"id":4,"op":"verify","table_ref":"<fingerprint>","query":"<claim>"}
 ///   {"op":"metrics"}   {"op":"stats"}   {"op":"ping"}   {"op":"health"}
+///
+/// `put_table` parses the evidence once, registers it in the
+/// content-addressed table registry (store::TableRegistry) with a warm
+/// index, and answers {"id":3,"status":"ok","fingerprint":"<16 hex>"}.
+/// A later `verify`/`answer` may pass that fingerprint as `table_ref`
+/// instead of inline CSV: the request then borrows the registered table
+/// and skips JSON table transfer, CSV parse, and index warm entirely. A
+/// `table_ref` that is not (or no longer) registered falls back to the
+/// inline `table` field when the request carries one — same answer
+/// bytes, marked `"degraded":true` — and fails with NotFound otherwise.
 ///
 /// `health` is the liveness probe: like `stats` it is answered inline on
 /// the caller's thread, without queueing through the scheduler — a
@@ -137,6 +156,7 @@ class Server {
   MetricsRegistry* metrics() { return metrics_; }
   ResultCache* cache() { return &cache_; }
   Scheduler* scheduler() { return &scheduler_; }
+  store::TableRegistry* registry() { return &registry_; }
 
  private:
   /// \brief The in-band `stats` response body: a JSON object with the key
@@ -148,6 +168,11 @@ class Server {
   MetricsRegistry* metrics_;  ///< Not owned; outlives the server.
   obs::Tracer* tracer_;       ///< Not owned.
   ResultCache cache_;
+  /// Owned by the server and shared with every front end it backs; the
+  /// scheduler (whose workers touch it) shuts down in ~Server before the
+  /// registry dies, and borrowed tables outlive eviction via shared_ptr
+  /// (see DESIGN.md, "Table registry ownership").
+  store::TableRegistry registry_;
   Scheduler scheduler_;
   fault::RetryPolicy retry_;
   fault::CircuitBreaker index_breaker_;
@@ -162,6 +187,7 @@ class Server {
   Counter* responses_degraded_;
   Counter* degraded_index_fallback_;
   Counter* degraded_cache_bypass_;
+  Counter* degraded_store_fallback_;
   Histogram* execute_us_;
   Histogram* table_parse_us_;
   Histogram* index_warm_us_;

@@ -1,0 +1,60 @@
+#ifndef UCTR_STORE_CODEC_H_
+#define UCTR_STORE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "store/columnar.h"
+
+namespace uctr::store {
+
+/// \brief Versioned binary serialization for ColumnarTable.
+///
+/// Layout: a fixed 32-byte little-endian header followed by the payload.
+///
+///   offset  size  field
+///   0       4     magic "UCTB"
+///   4       4     u32 codec version (currently 1)
+///   8       8     u64 payload size in bytes
+///   16      8     u64 FNV-1a checksum of the payload
+///   24      4     u32 column count
+///   28      4     u32 row count
+///
+/// The payload is the table name, the string pool, then each column
+/// (name, schema type, encoding, null bitmap, encoding-specific arrays),
+/// every variable-length field length-prefixed with a u32. All numeric
+/// array data is fixed-width little-endian, so the column arrays in a
+/// file produced by Encode can be mapped and walked in place by a future
+/// mmap reader — nothing in the layout requires a deserialization pass
+/// to locate.
+///
+/// Decode is total: any byte string either yields a valid ColumnarTable
+/// or an error Status. Truncation, trailing garbage, bad magic, version
+/// skew, checksum mismatch, out-of-range enums/string ids, and
+/// length-prefix overflows are all detected before any allocation sized
+/// from untrusted input.
+class Codec {
+ public:
+  static constexpr char kMagic[4] = {'U', 'C', 'T', 'B'};
+  static constexpr uint32_t kVersion = 1;
+  static constexpr size_t kHeaderBytes = 32;
+
+  /// \brief Serializes `table`. The output is canonical: encoding the
+  /// result of Decode (or of FromTable on a round-tripped Table) yields
+  /// byte-identical output, which makes content fingerprints stable.
+  static std::string Encode(const ColumnarTable& table);
+
+  /// \brief Parses and fully validates `bytes` (see class comment).
+  static Result<ColumnarTable> Decode(std::string_view bytes);
+
+  /// \brief Content fingerprint of encoded bytes: 64-bit FNV-1a rendered
+  /// as 16 lowercase hex chars. Same hash family the result cache uses.
+  static std::string Fingerprint(std::string_view encoded);
+};
+
+}  // namespace uctr::store
+
+#endif  // UCTR_STORE_CODEC_H_

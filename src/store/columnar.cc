@@ -1,0 +1,284 @@
+#include "store/columnar.h"
+
+#include <cmath>
+#include <utility>
+
+namespace uctr::store {
+
+namespace {
+
+/// int64 can hold any integral double in [-2^63, 2^63): both bounds are
+/// exactly representable, the upper one exclusively (casting 2^63 is UB).
+constexpr double kInt64Lo = -9223372036854775808.0;  // -2^63
+constexpr double kInt64Hi = 9223372036854775808.0;   // 2^63
+
+bool FitsInt64(double v) {
+  return std::nearbyint(v) == v && v >= kInt64Lo && v < kInt64Hi;
+}
+
+void SetBit(std::vector<uint8_t>* bits, size_t r) {
+  (*bits)[r / 8] |= static_cast<uint8_t>(1u << (r % 8));
+}
+
+}  // namespace
+
+const char* ColumnEncodingToString(ColumnEncoding encoding) {
+  switch (encoding) {
+    case ColumnEncoding::kInt64:
+      return "int64";
+    case ColumnEncoding::kDouble:
+      return "double";
+    case ColumnEncoding::kString:
+      return "string";
+    case ColumnEncoding::kBool:
+      return "bool";
+    case ColumnEncoding::kMixed:
+      return "mixed";
+  }
+  return "unknown";
+}
+
+uint32_t StringPool::Intern(std::string_view text) {
+  auto it = ids_.find(std::string(text));
+  if (it != ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(strings_.size());
+  strings_.emplace_back(text);
+  ids_.emplace(strings_.back(), id);
+  return id;
+}
+
+StringPool StringPool::FromStrings(std::vector<std::string> strings) {
+  StringPool pool;
+  pool.strings_ = std::move(strings);
+  pool.ids_.clear();
+  for (uint32_t id = 0; id < pool.strings_.size(); ++id) {
+    pool.ids_.emplace(pool.strings_[id], id);
+  }
+  return pool;
+}
+
+ColumnarTable ColumnarTable::FromTable(const Table& table) {
+  ColumnarTable out;
+  out.name_ = table.name();
+  out.num_rows_ = table.num_rows();
+  const size_t rows = out.num_rows_;
+  const size_t bitmap_bytes = (rows + 7) / 8;
+  out.columns_.reserve(table.num_columns());
+
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    Column col;
+    col.name = table.schema().column(c).name;
+    col.schema_type = table.schema().column(c).type;
+    col.null_bitmap.assign(bitmap_bytes, 0);
+
+    // Pass 1: the per-column type decision. Counts what value types the
+    // column actually holds, whether every number is integral, and
+    // whether any number kept a surface text ("$1,234.5").
+    size_t strings = 0, numbers = 0, bools = 0, non_null = 0;
+    bool all_int = true, any_number_text = false;
+    for (size_t r = 0; r < rows; ++r) {
+      const Value& v = table.cell(r, c);
+      if (v.is_null()) continue;
+      ++non_null;
+      if (v.is_string()) {
+        ++strings;
+      } else if (v.is_number()) {
+        ++numbers;
+        if (!FitsInt64(v.number())) all_int = false;
+        if (!v.text().empty()) any_number_text = true;
+      } else {
+        ++bools;
+      }
+    }
+    if (non_null == numbers && numbers > 0) {
+      col.encoding =
+          all_int ? ColumnEncoding::kInt64 : ColumnEncoding::kDouble;
+    } else if (non_null == bools && bools > 0) {
+      col.encoding = ColumnEncoding::kBool;
+    } else if (non_null == strings) {
+      // Includes the all-null column: nothing contradicts "string".
+      col.encoding = ColumnEncoding::kString;
+    } else {
+      col.encoding = ColumnEncoding::kMixed;
+    }
+
+    // Pass 2: pack values into the typed arrays.
+    switch (col.encoding) {
+      case ColumnEncoding::kInt64:
+        col.ints.assign(rows, 0);
+        if (any_number_text) col.text_ids.assign(rows, 0);
+        for (size_t r = 0; r < rows; ++r) {
+          const Value& v = table.cell(r, c);
+          if (v.is_null()) {
+            SetBit(&col.null_bitmap, r);
+            continue;
+          }
+          col.ints[r] = static_cast<int64_t>(v.number());
+          if (any_number_text) col.text_ids[r] = out.pool_.Intern(v.text());
+        }
+        break;
+      case ColumnEncoding::kDouble:
+        col.doubles.assign(rows, 0.0);
+        if (any_number_text) col.text_ids.assign(rows, 0);
+        for (size_t r = 0; r < rows; ++r) {
+          const Value& v = table.cell(r, c);
+          if (v.is_null()) {
+            SetBit(&col.null_bitmap, r);
+            continue;
+          }
+          col.doubles[r] = v.number();
+          if (any_number_text) col.text_ids[r] = out.pool_.Intern(v.text());
+        }
+        break;
+      case ColumnEncoding::kString:
+        col.text_ids.assign(rows, 0);
+        for (size_t r = 0; r < rows; ++r) {
+          const Value& v = table.cell(r, c);
+          if (v.is_null()) {
+            SetBit(&col.null_bitmap, r);
+            continue;
+          }
+          col.text_ids[r] = out.pool_.Intern(v.text());
+        }
+        break;
+      case ColumnEncoding::kBool:
+        col.bool_bits.assign(bitmap_bytes, 0);
+        for (size_t r = 0; r < rows; ++r) {
+          const Value& v = table.cell(r, c);
+          if (v.is_null()) {
+            SetBit(&col.null_bitmap, r);
+            continue;
+          }
+          if (v.boolean()) SetBit(&col.bool_bits, r);
+        }
+        break;
+      case ColumnEncoding::kMixed:
+        col.cell_types.assign(rows, static_cast<uint8_t>(ValueType::kNull));
+        col.doubles.assign(rows, 0.0);
+        col.text_ids.assign(rows, 0);
+        for (size_t r = 0; r < rows; ++r) {
+          const Value& v = table.cell(r, c);
+          col.cell_types[r] = static_cast<uint8_t>(v.type());
+          if (v.is_null()) {
+            SetBit(&col.null_bitmap, r);
+            continue;
+          }
+          if (v.is_string()) {
+            col.text_ids[r] = out.pool_.Intern(v.text());
+          } else {
+            col.doubles[r] = v.number();
+            if (v.is_number() && !v.text().empty()) {
+              col.text_ids[r] = out.pool_.Intern(v.text());
+            }
+          }
+        }
+        break;
+    }
+    out.columns_.push_back(std::move(col));
+  }
+  return out;
+}
+
+Value ColumnarTable::CellValue(size_t r, size_t c) const {
+  const Column& col = columns_[c];
+  if (col.is_null(r)) return Value::Null();
+  uint32_t text_id = col.text_ids.empty() ? 0 : col.text_ids[r];
+  switch (col.encoding) {
+    case ColumnEncoding::kInt64: {
+      double v = static_cast<double>(col.ints[r]);
+      return text_id == 0 ? Value::Number(v)
+                          : Value::NumberWithText(v, pool_.at(text_id));
+    }
+    case ColumnEncoding::kDouble:
+      return text_id == 0
+                 ? Value::Number(col.doubles[r])
+                 : Value::NumberWithText(col.doubles[r], pool_.at(text_id));
+    case ColumnEncoding::kString:
+      return Value::String(pool_.at(text_id));
+    case ColumnEncoding::kBool:
+      return Value::Bool((col.bool_bits[r / 8] >> (r % 8)) & 1);
+    case ColumnEncoding::kMixed:
+      switch (static_cast<ValueType>(col.cell_types[r])) {
+        case ValueType::kString:
+          return Value::String(pool_.at(text_id));
+        case ValueType::kNumber:
+          return text_id == 0 ? Value::Number(col.doubles[r])
+                              : Value::NumberWithText(col.doubles[r],
+                                                      pool_.at(text_id));
+        case ValueType::kBool:
+          return Value::Bool(col.doubles[r] != 0.0);
+        case ValueType::kNull:
+          break;
+      }
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+Result<Table> ColumnarTable::ToTable() const {
+  const size_t rows = num_rows_;
+  const size_t bitmap_bytes = (rows + 7) / 8;
+  std::vector<ColumnSpec> specs;
+  specs.reserve(columns_.size());
+  for (const Column& col : columns_) {
+    // Size invariants, so CellValue below never indexes out of range on a
+    // hand-built instance (decoded ones are validated by the codec).
+    if (col.null_bitmap.size() != bitmap_bytes) {
+      return Status::Internal("column '" + col.name + "': bad null bitmap");
+    }
+    size_t need_ints = col.encoding == ColumnEncoding::kInt64 ? rows : 0;
+    size_t need_doubles = (col.encoding == ColumnEncoding::kDouble ||
+                           col.encoding == ColumnEncoding::kMixed)
+                              ? rows
+                              : 0;
+    if (col.ints.size() != need_ints || col.doubles.size() != need_doubles ||
+        (col.encoding == ColumnEncoding::kBool &&
+         col.bool_bits.size() != bitmap_bytes) ||
+        (col.encoding == ColumnEncoding::kMixed &&
+         col.cell_types.size() != rows)) {
+      return Status::Internal("column '" + col.name + "': bad array sizes");
+    }
+    bool text_required = col.encoding == ColumnEncoding::kString ||
+                         col.encoding == ColumnEncoding::kMixed;
+    if ((text_required && col.text_ids.size() != rows) ||
+        (!col.text_ids.empty() && col.text_ids.size() != rows)) {
+      return Status::Internal("column '" + col.name + "': bad text ids");
+    }
+    for (uint32_t id : col.text_ids) {
+      if (!pool_.valid(id)) {
+        return Status::Internal("column '" + col.name +
+                                "': string id out of range");
+      }
+    }
+    specs.push_back({col.name, col.schema_type});
+  }
+
+  Table table(name_, Schema(std::move(specs)));
+  for (size_t r = 0; r < rows; ++r) {
+    Table::Row row;
+    row.reserve(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      row.push_back(CellValue(r, c));
+    }
+    UCTR_RETURN_NOT_OK(table.AppendRow(std::move(row)));
+  }
+  return table;
+}
+
+size_t ColumnarTable::ApproxBytes() const {
+  size_t bytes = name_.size() + sizeof(ColumnarTable);
+  for (const std::string& s : pool_.strings()) {
+    bytes += s.size() + 32;  // heap block + pool bookkeeping
+  }
+  for (const Column& col : columns_) {
+    bytes += col.name.size() + sizeof(Column);
+    bytes += col.null_bitmap.size() + col.bool_bits.size() +
+             col.cell_types.size();
+    bytes += col.ints.size() * sizeof(int64_t);
+    bytes += col.doubles.size() * sizeof(double);
+    bytes += col.text_ids.size() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace uctr::store

@@ -1,0 +1,102 @@
+#ifndef UCTR_STORE_REGISTRY_H_
+#define UCTR_STORE_REGISTRY_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "store/codec.h"
+#include "table/table.h"
+
+namespace uctr::store {
+
+struct RegistryConfig {
+  /// Total byte budget across all shards. A table whose own footprint
+  /// exceeds the per-shard budget is still admitted (alone in its shard)
+  /// so oversized evidence tables are cacheable rather than thrashing.
+  size_t capacity_bytes = 64ull << 20;
+  size_t num_shards = 8;
+};
+
+struct PutResult {
+  std::string fingerprint;  ///< 16-hex content address of the table bytes
+  size_t bytes = 0;         ///< accounted footprint of the stored table
+  bool inserted = false;    ///< false: identical table was already present
+};
+
+/// \brief Content-addressed cache of served evidence tables.
+///
+/// Put() canonically encodes the table (store::Codec), fingerprints the
+/// bytes, warms the TableIndex once, and stores the table under its
+/// fingerprint. Get() hands out shared_ptr<const Table> borrows: the
+/// request path reads the stored table (and its warm index) in place with
+/// no parse, no index build, and no copy. Identical content always maps
+/// to the same fingerprint, so re-registering a table is a dedup hit.
+///
+/// Sharded LRU with byte-budget eviction: each shard orders its entries
+/// by last touch and evicts from the cold end once the shard exceeds
+/// capacity_bytes / num_shards. Eviction never races with use — borrowers
+/// hold the shared_ptr, so an evicted table dies only after the last
+/// in-flight request drops it. The registry itself must outlive every
+/// thread that can call it (see DESIGN.md on ownership vs the serve and
+/// net event-loop threads); the tables it hands out may outlive *it*
+/// safely.
+///
+/// Thread-safe: all public methods may be called concurrently. Borrowed
+/// tables are safe for concurrent const readers (TableIndex builds are
+/// internally synchronized and pre-warmed here anyway).
+class TableRegistry {
+ public:
+  explicit TableRegistry(RegistryConfig config = {},
+                         obs::MetricsRegistry* metrics = nullptr);
+
+  /// \brief Registers `table` under its content fingerprint, warming its
+  /// index first so readers never pay the build. Dedups on fingerprint.
+  Result<PutResult> Put(Table table);
+
+  /// \brief Looks up a registered table; nullptr on miss (counted).
+  std::shared_ptr<const Table> Get(std::string_view fingerprint);
+
+  size_t table_count() const;
+  size_t bytes() const;
+  size_t capacity_bytes() const { return config_.capacity_bytes; }
+
+  uint64_t puts() const { return puts_->value(); }
+  uint64_t hits() const { return hits_->value(); }
+  uint64_t misses() const { return misses_->value(); }
+  uint64_t evictions() const { return evictions_->value(); }
+
+ private:
+  struct Entry {
+    std::string fingerprint;
+    std::shared_ptr<const Table> table;
+    size_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently touched
+    std::unordered_map<std::string, std::list<Entry>::iterator> by_fp;
+    size_t bytes = 0;
+  };
+
+  Shard& ShardFor(std::string_view fingerprint);
+
+  RegistryConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  obs::Counter* puts_;
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* evictions_;
+};
+
+}  // namespace uctr::store
+
+#endif  // UCTR_STORE_REGISTRY_H_

@@ -16,6 +16,8 @@
 #include "program/template.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
+#include "store/codec.h"
+#include "store/columnar.h"
 #include "table/table.h"
 #include "tests/test_util.h"
 
@@ -142,6 +144,55 @@ TEST_P(FuzzTest, FrameRoundTripSurvivesTornDelivery) {
     }
     EXPECT_EQ(popped, payloads.size());
     EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  }
+}
+
+TEST_P(FuzzTest, TableCodecNeverCrashesOnGarbage) {
+  // Random byte soup through the table codec: decode must return an error
+  // Status (or, vanishingly unlikely, a usable table), never crash.
+  for (int i = 0; i < 300; ++i) {
+    auto decoded = store::Codec::Decode(RandomGarbage(&rng_, 400));
+    if (decoded.ok()) (void)decoded->ToTable();
+  }
+}
+
+TEST_P(FuzzTest, TableCodecSurvivesTornFrameDelivery) {
+  // A registered table shipped as a framed payload, delivered torn at
+  // random boundaries: reassembly must reproduce the exact codec bytes,
+  // so the fingerprint — and therefore the registry identity — is stable
+  // across the wire.
+  std::string encoded = store::Codec::Encode(
+      store::ColumnarTable::FromTable(testing::MakeFinanceTable()));
+  std::string fingerprint = store::Codec::Fingerprint(encoded);
+  for (int round = 0; round < 20; ++round) {
+    std::string stream = net::EncodeFrame(encoded).ValueOrDie();
+    net::FrameDecoder decoder;
+    size_t off = 0;
+    std::string payload, reassembled;
+    while (off < stream.size()) {
+      size_t chunk = rng_.Index(97) + 1;
+      if (chunk > stream.size() - off) chunk = stream.size() - off;
+      ASSERT_TRUE(decoder.Feed(stream.data() + off, chunk).ok());
+      off += chunk;
+      while (decoder.Next(&payload)) reassembled = payload;
+    }
+    ASSERT_EQ(reassembled, encoded);
+    EXPECT_EQ(store::Codec::Fingerprint(reassembled), fingerprint);
+    ASSERT_TRUE(store::Codec::Decode(reassembled).ok());
+  }
+}
+
+TEST_P(FuzzTest, TableCodecRejectsBitFlippedFrames) {
+  // Corruption introduced mid-flight must surface as a decode error, not
+  // a silently different table.
+  std::string encoded = store::Codec::Encode(
+      store::ColumnarTable::FromTable(testing::MakeNationsTable()));
+  for (int i = 0; i < 100; ++i) {
+    std::string corrupt = encoded;
+    size_t byte = rng_.Index(corrupt.size());
+    corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1u << rng_.Index(8)));
+    EXPECT_FALSE(store::Codec::Decode(corrupt).ok())
+        << "bit flip at byte " << byte;
   }
 }
 
