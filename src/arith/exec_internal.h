@@ -1,0 +1,34 @@
+#ifndef UCTR_ARITH_EXEC_INTERNAL_H_
+#define UCTR_ARITH_EXEC_INTERNAL_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+/// Shared arithmetic-program execution primitives. Both the step evaluator
+/// (arith/executor.cc) and the bytecode VM (ir/vm.cc) call these, so the
+/// two paths resolve table references with literally the same code — the
+/// byte-identity contract between them holds by construction.
+namespace uctr::arith::internal {
+
+/// Resolves a `col of row` cell reference to a number. Tries the parsed
+/// (column, row) split first, then every other " of " split point of the
+/// original text — both halves may themselves contain " of " ("cost of
+/// sales"). Rows read are added to `*evidence`. NotFound when no split
+/// resolves.
+Result<double> ResolveCellRef(const Table& table, const std::string& column,
+                              const std::string& row, const std::string& text,
+                              std::set<size_t>* evidence);
+
+/// Numeric cells of the row named `name`, or of the column headed `name`.
+/// Rows read are added to `*evidence`.
+Result<std::vector<double>> ResolveSeries(const Table& table,
+                                          const std::string& name,
+                                          std::set<size_t>* evidence);
+
+}  // namespace uctr::arith::internal
+
+#endif  // UCTR_ARITH_EXEC_INTERNAL_H_

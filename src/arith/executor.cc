@@ -3,12 +3,78 @@
 #include <cmath>
 #include <set>
 
+#include "arith/exec_internal.h"
 #include "arith/parser.h"
 #include "common/numeric.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
 
 namespace uctr::arith {
+
+namespace internal {
+
+namespace {
+
+Result<double> TryCellLookup(const Table& table, const std::string& column,
+                             const std::string& row_name,
+                             std::set<size_t>* evidence) {
+  UCTR_ASSIGN_OR_RETURN(size_t r, table.RowIndexByName(row_name));
+  UCTR_ASSIGN_OR_RETURN(size_t c, table.ColumnIndex(column));
+  UCTR_ASSIGN_OR_RETURN(double v, table.cell(r, c).ToNumber());
+  evidence->insert(r);
+  return v;
+}
+
+}  // namespace
+
+Result<double> ResolveCellRef(const Table& table, const std::string& column,
+                              const std::string& row, const std::string& text,
+                              std::set<size_t>* evidence) {
+  // The parser's "col of row" split is a guess: both halves may
+  // themselves contain " of " ("cost of sales"). Try the parsed
+  // split first, then every other split point of the original text.
+  if (auto v = TryCellLookup(table, column, row, evidence); v.ok()) return v;
+  std::string lowered = ToLower(text);
+  size_t pos = lowered.find(" of ");
+  while (pos != std::string::npos) {
+    std::string col = Trim(std::string_view(text).substr(0, pos));
+    std::string row_name = Trim(std::string_view(text).substr(pos + 4));
+    if (auto v = TryCellLookup(table, col, row_name, evidence); v.ok()) {
+      return v;
+    }
+    pos = lowered.find(" of ", pos + 1);
+  }
+  return Status::NotFound("cannot resolve cell reference '" + text + "'");
+}
+
+Result<std::vector<double>> ResolveSeries(const Table& table,
+                                          const std::string& name,
+                                          std::set<size_t>* evidence) {
+  std::vector<double> out;
+  if (auto r = table.RowIndexByName(name); r.ok()) {
+    size_t row = r.ValueOrDie();
+    evidence->insert(row);
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const Value& v = table.cell(row, c);
+      if (v.is_number()) out.push_back(v.number());
+    }
+    if (!out.empty()) return out;
+  }
+  if (auto c = table.ColumnIndex(name); c.ok()) {
+    size_t col = c.ValueOrDie();
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      const Value& v = table.cell(r, col);
+      if (v.is_number()) {
+        out.push_back(v.number());
+        evidence->insert(r);
+      }
+    }
+    if (!out.empty()) return out;
+  }
+  return Status::ExecutionError("no numeric series named '" + name + "'");
+}
+
+}  // namespace internal
 
 namespace {
 
@@ -28,15 +94,6 @@ class Evaluator {
   const std::set<size_t>& evidence() const { return evidence_; }
 
  private:
-  Result<double> TryCellLookup(const std::string& column,
-                               const std::string& row_name) {
-    UCTR_ASSIGN_OR_RETURN(size_t r, table_.RowIndexByName(row_name));
-    UCTR_ASSIGN_OR_RETURN(size_t c, table_.ColumnIndex(column));
-    UCTR_ASSIGN_OR_RETURN(double v, table_.cell(r, c).ToNumber());
-    evidence_.insert(r);
-    return v;
-  }
-
   Result<double> ResolveNumeric(const Operand& op) {
     switch (op.kind) {
       case Operand::Kind::kStepRef:
@@ -47,22 +104,9 @@ class Evaluator {
         return results_[op.step_ref].ToNumber();
       case Operand::Kind::kConst:
         return op.constant;
-      case Operand::Kind::kCellRef: {
-        // The parser's "col of row" split is a guess: both halves may
-        // themselves contain " of " ("cost of sales"). Try the parsed
-        // split first, then every other split point of the original text.
-        if (auto v = TryCellLookup(op.column, op.row); v.ok()) return v;
-        std::string lowered = ToLower(op.text);
-        size_t pos = lowered.find(" of ");
-        while (pos != std::string::npos) {
-          std::string col = Trim(std::string_view(op.text).substr(0, pos));
-          std::string row = Trim(std::string_view(op.text).substr(pos + 4));
-          if (auto v = TryCellLookup(col, row); v.ok()) return v;
-          pos = lowered.find(" of ", pos + 1);
-        }
-        return Status::NotFound("cannot resolve cell reference '" + op.text +
-                                "'");
-      }
+      case Operand::Kind::kCellRef:
+        return internal::ResolveCellRef(table_, op.column, op.row, op.text,
+                                        &evidence_);
       case Operand::Kind::kText: {
         // Free text might still be a cell value; try a unique table scan.
         Value wanted = Value::FromText(op.text);
@@ -74,42 +118,18 @@ class Evaluator {
     return Status::Internal("unreachable");
   }
 
-  /// Numeric cells of the row named `name`, or of the column headed `name`.
-  Result<std::vector<double>> ResolveSeries(const Operand& op) {
-    std::string name = op.kind == Operand::Kind::kCellRef
-                           ? op.column + " of " + op.row
-                           : op.text;
-    std::vector<double> out;
-    if (auto r = table_.RowIndexByName(name); r.ok()) {
-      size_t row = r.ValueOrDie();
-      evidence_.insert(row);
-      for (size_t c = 0; c < table_.num_columns(); ++c) {
-        const Value& v = table_.cell(row, c);
-        if (v.is_number()) out.push_back(v.number());
-      }
-      if (!out.empty()) return out;
-    }
-    if (auto c = table_.ColumnIndex(name); c.ok()) {
-      size_t col = c.ValueOrDie();
-      for (size_t r = 0; r < table_.num_rows(); ++r) {
-        const Value& v = table_.cell(r, col);
-        if (v.is_number()) {
-          out.push_back(v.number());
-          evidence_.insert(r);
-        }
-      }
-      if (!out.empty()) return out;
-    }
-    return Status::ExecutionError("no numeric series named '" + name + "'");
-  }
-
   Result<Value> EvalStep(const Step& step) {
     if (StartsWith(step.op, "table_")) {
       if (step.args.size() != 1) {
         return Status::InvalidArgument(step.op + " expects 1 argument");
       }
-      UCTR_ASSIGN_OR_RETURN(std::vector<double> series,
-                            ResolveSeries(step.args[0]));
+      const Operand& arg = step.args[0];
+      std::string name = arg.kind == Operand::Kind::kCellRef
+                             ? arg.column + " of " + arg.row
+                             : arg.text;
+      UCTR_ASSIGN_OR_RETURN(
+          std::vector<double> series,
+          internal::ResolveSeries(table_, name, &evidence_));
       double acc = series[0];
       double sum = 0;
       for (double x : series) sum += x;

@@ -54,6 +54,11 @@ struct Sample {
   std::vector<std::string> paragraph;
   std::string sentence;
 
+  /// \brief How programs interpreted against this sample execute (VM vs
+  /// tree-walk, plan cache). Serving sets this per request so degraded
+  /// mode can force the walker; the default is the compiled path.
+  ExecOptions exec;
+
   /// \brief The evidence table every reader should consult: the borrowed
   /// registry table when present, the owned one otherwise.
   const Table& evidence_table() const {

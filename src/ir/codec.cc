@@ -1,0 +1,223 @@
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "ir/ir.h"
+
+/// Plan wire codec. Same discipline as the store codec (store/codec.cc):
+/// encode is a straight dump, decode is *total* — every read is
+/// bounds-checked, every count capped before allocation, a trailing FNV-1a
+/// checksum rejects torn bytes, and whatever survives still has to pass
+/// VerifyPlan before a caller can execute it.
+namespace uctr::ir {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x55504C4Eu;  // "UPLN"
+constexpr uint32_t kVersion = 1;
+
+// Caps chosen far above anything the lowerings emit but small enough that
+// a hostile length field cannot drive a large allocation.
+constexpr uint32_t kMaxPoolEntries = 1u << 16;
+constexpr uint32_t kMaxAuxEntries = 1u << 20;
+constexpr uint32_t kMaxCodeEntries = 1u << 20;
+constexpr uint32_t kMaxTextBytes = 1u << 20;
+
+void PutU8(std::string* out, uint8_t v) { out->push_back(static_cast<char>(v)); }
+
+void PutU16(std::string* out, uint16_t v) {
+  PutU8(out, static_cast<uint8_t>(v));
+  PutU8(out, static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) PutU8(out, static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) PutU8(out, static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Bounds-checked little-endian reader over the input bytes.
+struct Reader {
+  const uint8_t* p;
+  size_t size;
+  size_t pos = 0;
+
+  bool Take(size_t n, const uint8_t** out) {
+    if (n > size - pos) return false;  // pos <= size always holds
+    *out = p + pos;
+    pos += n;
+    return true;
+  }
+  bool U8(uint8_t* v) {
+    const uint8_t* q;
+    if (!Take(1, &q)) return false;
+    *v = q[0];
+    return true;
+  }
+  bool U16(uint16_t* v) {
+    const uint8_t* q;
+    if (!Take(2, &q)) return false;
+    *v = static_cast<uint16_t>(q[0] | q[1] << 8);
+    return true;
+  }
+  bool U32(uint32_t* v) {
+    const uint8_t* q;
+    if (!Take(4, &q)) return false;
+    *v = static_cast<uint32_t>(q[0]) | static_cast<uint32_t>(q[1]) << 8 |
+         static_cast<uint32_t>(q[2]) << 16 | static_cast<uint32_t>(q[3]) << 24;
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    uint32_t lo, hi;
+    if (!U32(&lo) || !U32(&hi)) return false;
+    *v = static_cast<uint64_t>(hi) << 32 | lo;
+    return true;
+  }
+};
+
+Status Corrupt(const std::string& what) {
+  return Status::InvalidArgument("plan decode: " + what);
+}
+
+}  // namespace
+
+std::string EncodePlan(const Plan& plan) {
+  std::string out;
+  PutU32(&out, kMagic);
+  PutU32(&out, kVersion);
+  PutU8(&out, static_cast<uint8_t>(plan.family));
+  PutU16(&out, plan.num_regs);
+  PutU32(&out, plan.num_columns);
+  PutU64(&out, plan.schema_fp);
+
+  PutU32(&out, static_cast<uint32_t>(plan.pool.size()));
+  for (const Value& v : plan.pool) {
+    PutU8(&out, static_cast<uint8_t>(v.type()));
+    double num = v.is_number() ? v.number() : (v.is_bool() ? (v.boolean() ? 1 : 0) : 0);
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(num));
+    std::memcpy(&bits, &num, sizeof(bits));
+    PutU64(&out, bits);
+    PutString(&out, v.text());
+  }
+
+  PutU32(&out, static_cast<uint32_t>(plan.aux.size()));
+  for (uint32_t a : plan.aux) PutU32(&out, a);
+
+  PutU32(&out, static_cast<uint32_t>(plan.code.size()));
+  for (const Insn& insn : plan.code) {
+    PutU16(&out, insn.op);
+    PutU16(&out, insn.dst);
+    PutU16(&out, insn.a);
+    PutU16(&out, insn.b);
+    PutU32(&out, insn.imm);
+    PutU32(&out, insn.imm2);
+  }
+
+  PutU64(&out, Fnv1a(out.data(), out.size()));
+  return out;
+}
+
+Result<Plan> DecodePlan(std::string_view bytes) {
+  if (bytes.size() < 8 + 8) return Corrupt("truncated header");
+  // Checksum first: everything after it assumes intact bytes.
+  size_t body = bytes.size() - 8;
+  Reader tail{reinterpret_cast<const uint8_t*>(bytes.data() + body), 8};
+  uint64_t want = 0;
+  tail.U64(&want);
+  if (Fnv1a(bytes.data(), body) != want) return Corrupt("checksum mismatch");
+
+  Reader r{reinterpret_cast<const uint8_t*>(bytes.data()), body};
+  uint32_t magic = 0, version = 0;
+  if (!r.U32(&magic) || magic != kMagic) return Corrupt("bad magic");
+  if (!r.U32(&version) || version != kVersion) {
+    return Corrupt("unsupported version");
+  }
+
+  Plan plan;
+  uint8_t family = 0;
+  if (!r.U8(&family) || family > 2) return Corrupt("bad family");
+  plan.family = static_cast<Family>(family);
+  if (!r.U16(&plan.num_regs)) return Corrupt("truncated register count");
+  if (!r.U32(&plan.num_columns)) return Corrupt("truncated column count");
+  if (!r.U64(&plan.schema_fp)) return Corrupt("truncated fingerprint");
+
+  uint32_t pool_count = 0;
+  if (!r.U32(&pool_count) || pool_count > kMaxPoolEntries) {
+    return Corrupt("bad pool count");
+  }
+  plan.pool.reserve(pool_count);
+  for (uint32_t i = 0; i < pool_count; ++i) {
+    uint8_t type = 0;
+    uint64_t bits = 0;
+    uint32_t len = 0;
+    if (!r.U8(&type) || !r.U64(&bits) || !r.U32(&len)) {
+      return Corrupt("truncated pool entry");
+    }
+    if (len > kMaxTextBytes) return Corrupt("pool text too large");
+    const uint8_t* text_bytes;
+    if (!r.Take(len, &text_bytes)) return Corrupt("truncated pool text");
+    std::string text(reinterpret_cast<const char*>(text_bytes), len);
+    double num;
+    std::memcpy(&num, &bits, sizeof(num));
+    switch (static_cast<ValueType>(type)) {
+      case ValueType::kNull:
+        plan.pool.push_back(Value::Null());
+        break;
+      case ValueType::kString:
+        plan.pool.push_back(Value::String(std::move(text)));
+        break;
+      case ValueType::kNumber:
+        plan.pool.push_back(text.empty()
+                                ? Value::Number(num)
+                                : Value::NumberWithText(num, std::move(text)));
+        break;
+      case ValueType::kBool:
+        plan.pool.push_back(Value::Bool(num != 0));
+        break;
+      default:
+        return Corrupt("bad pool value type");
+    }
+  }
+
+  uint32_t aux_count = 0;
+  if (!r.U32(&aux_count) || aux_count > kMaxAuxEntries) {
+    return Corrupt("bad aux count");
+  }
+  plan.aux.reserve(aux_count);
+  for (uint32_t i = 0; i < aux_count; ++i) {
+    uint32_t a = 0;
+    if (!r.U32(&a)) return Corrupt("truncated aux entry");
+    plan.aux.push_back(a);
+  }
+
+  uint32_t code_count = 0;
+  if (!r.U32(&code_count) || code_count > kMaxCodeEntries) {
+    return Corrupt("bad code count");
+  }
+  plan.code.reserve(code_count);
+  for (uint32_t i = 0; i < code_count; ++i) {
+    Insn insn;
+    if (!r.U16(&insn.op) || !r.U16(&insn.dst) || !r.U16(&insn.a) ||
+        !r.U16(&insn.b) || !r.U32(&insn.imm) || !r.U32(&insn.imm2)) {
+      return Corrupt("truncated instruction");
+    }
+    plan.code.push_back(insn);
+  }
+
+  if (r.pos != body) return Corrupt("trailing bytes");
+  UCTR_RETURN_NOT_OK(VerifyPlan(plan));
+  // Derived field, not part of the wire format: rebuild after the plan is
+  // proven well-formed so decoded plans execute as fast as compiled ones.
+  plan.RebuildPoolKeys();
+  return plan;
+}
+
+}  // namespace uctr::ir

@@ -1,19 +1,249 @@
 #include "logic/executor.h"
 
 #include <algorithm>
+#include <limits>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/numeric.h"
 #include "common/string_util.h"
+#include "logic/exec_internal.h"
 #include "logic/parser.h"
 #include "obs/metrics.h"
 #include "table/index.h"
 
 namespace uctr::logic {
 
+namespace internal {
+
+Result<CmpKind> CmpFromSuffix(std::string_view op, std::string_view prefix) {
+  std::string suffix(op.substr(prefix.size()));
+  if (suffix == "eq") return CmpKind::kEq;
+  if (suffix == "not_eq") return CmpKind::kNotEq;
+  if (suffix == "greater") return CmpKind::kGreater;
+  if (suffix == "less") return CmpKind::kLess;
+  if (suffix == "greater_eq") return CmpKind::kGreaterEq;
+  if (suffix == "less_eq") return CmpKind::kLessEq;
+  return Status::InvalidArgument("unknown comparison '" + std::string(op) +
+                                 "'");
+}
+
+bool CellMatches(const Value& cell, CmpKind cmp, const Value& ref) {
+  if (cell.is_null()) return false;
+  switch (cmp) {
+    case CmpKind::kEq:
+      return cell.Equals(ref);
+    case CmpKind::kNotEq:
+      return !cell.Equals(ref);
+    case CmpKind::kGreater:
+      return cell.Compare(ref) > 0;
+    case CmpKind::kLess:
+      return cell.Compare(ref) < 0;
+    case CmpKind::kGreaterEq:
+      return cell.Compare(ref) >= 0;
+    case CmpKind::kLessEq:
+      return cell.Compare(ref) <= 0;
+  }
+  return false;
+}
+
+bool CellMatchesIndexed(const TableIndex::Column& col, size_t r, CmpKind cmp,
+                        const TableIndex::LiteralKey& ref) {
+  if (col.is_null[r]) return false;
+  switch (cmp) {
+    case CmpKind::kEq:
+      return TableIndex::CellEquals(col, r, ref);
+    case CmpKind::kNotEq:
+      return !TableIndex::CellEquals(col, r, ref);
+    case CmpKind::kGreater:
+      return TableIndex::CellCompare(col, r, ref) > 0;
+    case CmpKind::kLess:
+      return TableIndex::CellCompare(col, r, ref) < 0;
+    case CmpKind::kGreaterEq:
+      return TableIndex::CellCompare(col, r, ref) >= 0;
+    case CmpKind::kLessEq:
+      return TableIndex::CellCompare(col, r, ref) <= 0;
+  }
+  return false;
+}
+
+std::vector<size_t> MatchingRows(const Table& table, const TableIndex* index,
+                                 const std::vector<size_t>& view,
+                                 size_t col_idx, CmpKind cmp, const Value& ref,
+                                 size_t* rows_scanned) {
+  return MatchingRows(table, index, view, col_idx, cmp, ref, nullptr,
+                      rows_scanned);
+}
+
+std::vector<size_t> MatchingRows(const Table& table, const TableIndex* index,
+                                 const std::vector<size_t>& view,
+                                 size_t col_idx, CmpKind cmp, const Value& ref,
+                                 const TableIndex::LiteralKey* pre_key,
+                                 size_t* rows_scanned) {
+  std::vector<size_t> out;
+  if (index == nullptr) {
+    *rows_scanned += view.size();
+    for (size_t r : view) {
+      if (CellMatches(table.cell(r, col_idx), cmp, ref)) out.push_back(r);
+    }
+    return out;
+  }
+  const TableIndex::Column& col = index->column(col_idx);
+  std::optional<TableIndex::LiteralKey> local;
+  if (pre_key == nullptr) local.emplace(ref);
+  const TableIndex::LiteralKey& key = pre_key != nullptr ? *pre_key : *local;
+  if (cmp == CmpKind::kEq && !key.null && !key.numeric) {
+    auto hit = col.by_text.find(key.norm);
+    if (hit == col.by_text.end()) return out;
+    // Views are ascending subsequences of [0, num_rows) (all_rows and
+    // every filter preserve that), so a full-size view IS the identity
+    // permutation and the ascending posting list is already the answer —
+    // O(matches) instead of two O(rows) passes.
+    if (view.size() == table.num_rows()) {
+      out = hit->second;
+      return out;
+    }
+    std::vector<uint8_t> member(table.num_rows(), 0);
+    for (size_t r : hit->second) member[r] = 1;
+    for (size_t r : view) {
+      if (member[r]) out.push_back(r);
+    }
+    return out;
+  }
+  *rows_scanned += view.size();
+  for (size_t r : view) {
+    if (CellMatchesIndexed(col, r, cmp, key)) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<size_t> NonNullRows(const Table& table, const TableIndex* index,
+                                const std::vector<size_t>& view,
+                                size_t col_idx) {
+  std::vector<size_t> out;
+  if (index != nullptr) {
+    const TableIndex::Column& cache = index->column(col_idx);
+    for (size_t r : view) {
+      if (!cache.is_null[r]) out.push_back(r);
+    }
+  } else {
+    for (size_t r : view) {
+      if (!table.cell(r, col_idx).is_null()) out.push_back(r);
+    }
+  }
+  return out;
+}
+
 namespace {
+
+/// OrderedRows through the index. A full view (the common `all_rows`
+/// superlative) reuses the cached sorted permutation outright; subset
+/// views stable-sort with cached comparison keys. Descending order is
+/// derived from the ascending permutation by reversing tie groups, which
+/// preserves original row order within ties exactly like a stable
+/// descending sort.
+Result<std::vector<size_t>> OrderedRowsIndexed(const Table& table,
+                                               const TableIndex& index,
+                                               const std::vector<size_t>& view,
+                                               size_t col_idx,
+                                               bool descending) {
+  const TableIndex::Column& col = index.column(col_idx);
+  std::vector<size_t> rows;
+  if (view.size() == table.num_rows()) {
+    // Views are duplicate-free subsets in ascending row order, so a
+    // full-size view is exactly 0..n-1: the cached permutation applies.
+    rows.reserve(col.non_null_count);
+    for (size_t r : col.sorted) {
+      if (!col.is_null[r]) rows.push_back(r);
+    }
+  } else {
+    for (size_t r : view) {
+      if (!col.is_null[r]) rows.push_back(r);
+    }
+    std::stable_sort(rows.begin(), rows.end(), [&col](size_t a, size_t b) {
+      return TableIndex::CompareRows(col, a, b) < 0;
+    });
+  }
+  if (rows.empty()) return Status::EmptyResult("superlative on empty view");
+  if (descending) {
+    std::vector<size_t> desc;
+    desc.reserve(rows.size());
+    size_t end = rows.size();
+    while (end > 0) {
+      size_t begin = end - 1;
+      while (begin > 0 &&
+             TableIndex::CompareRows(col, rows[begin - 1], rows[begin]) == 0) {
+        --begin;
+      }
+      for (size_t k = begin; k < end; ++k) desc.push_back(rows[k]);
+      end = begin;
+    }
+    rows = std::move(desc);
+  }
+  return rows;
+}
+
+}  // namespace
+
+Result<std::vector<size_t>> OrderedRows(const Table& table,
+                                        const TableIndex* index,
+                                        const std::vector<size_t>& view,
+                                        size_t col_idx, bool descending) {
+  if (index != nullptr) {
+    return OrderedRowsIndexed(table, *index, view, col_idx, descending);
+  }
+  std::vector<size_t> rows;
+  for (size_t r : view) {
+    if (!table.cell(r, col_idx).is_null()) rows.push_back(r);
+  }
+  if (rows.empty()) return Status::EmptyResult("superlative on empty view");
+  std::stable_sort(rows.begin(), rows.end(), [&](size_t a, size_t b) {
+    int cmp = table.cell(a, col_idx).Compare(table.cell(b, col_idx));
+    return descending ? cmp > 0 : cmp < 0;
+  });
+  return rows;
+}
+
+Result<Value> ViewAggregate(const Table& table, const TableIndex* index,
+                            const std::vector<size_t>& view, size_t col_idx,
+                            bool average, size_t* rows_scanned) {
+  *rows_scanned += view.size();
+  double sum = 0;
+  size_t n = 0;
+  if (index != nullptr) {
+    const TableIndex::Column& cache = index->column(col_idx);
+    for (size_t r : view) {
+      if (cache.is_null[r]) continue;
+      if (cache.numeric[r]) {
+        sum += cache.number[r];
+      } else {
+        // Non-numeric cell: surface the exact scan-path TypeError.
+        UCTR_ASSIGN_OR_RETURN(double x, table.cell(r, col_idx).ToNumber());
+        sum += x;
+      }
+      ++n;
+    }
+  } else {
+    for (size_t r : view) {
+      const Value& v = table.cell(r, col_idx);
+      if (v.is_null()) continue;
+      UCTR_ASSIGN_OR_RETURN(double x, v.ToNumber());
+      sum += x;
+      ++n;
+    }
+  }
+  if (n == 0) return Status::EmptyResult("aggregate over no values");
+  if (!average) return Value::Number(sum);
+  return Value::Number(sum / static_cast<double>(n));
+}
+
+}  // namespace internal
+
+namespace {
+
+using internal::CmpKind;
 
 /// Executor instruments, resolved once (thread-safe function-local
 /// statics); per-program cost is relaxed atomic adds on exit.
@@ -122,96 +352,6 @@ class Evaluator {
     return table_.ColumnIndex(node.name);
   }
 
-  /// -1 / 0 / +1 comparison classes shared by filter_*, most_*, all_*.
-  enum class CmpKind { kEq, kNotEq, kGreater, kLess, kGreaterEq, kLessEq };
-
-  static Result<CmpKind> CmpFromSuffix(std::string_view op,
-                                       std::string_view prefix) {
-    std::string suffix(op.substr(prefix.size()));
-    if (suffix == "eq") return CmpKind::kEq;
-    if (suffix == "not_eq") return CmpKind::kNotEq;
-    if (suffix == "greater") return CmpKind::kGreater;
-    if (suffix == "less") return CmpKind::kLess;
-    if (suffix == "greater_eq") return CmpKind::kGreaterEq;
-    if (suffix == "less_eq") return CmpKind::kLessEq;
-    return Status::InvalidArgument("unknown comparison '" + std::string(op) +
-                                   "'");
-  }
-
-  static bool CellMatches(const Value& cell, CmpKind cmp, const Value& ref) {
-    if (cell.is_null()) return false;
-    switch (cmp) {
-      case CmpKind::kEq:
-        return cell.Equals(ref);
-      case CmpKind::kNotEq:
-        return !cell.Equals(ref);
-      case CmpKind::kGreater:
-        return cell.Compare(ref) > 0;
-      case CmpKind::kLess:
-        return cell.Compare(ref) < 0;
-      case CmpKind::kGreaterEq:
-        return cell.Compare(ref) >= 0;
-      case CmpKind::kLessEq:
-        return cell.Compare(ref) <= 0;
-    }
-    return false;
-  }
-
-  /// CellMatches over cached column data (no per-call parsing).
-  static bool CellMatchesIndexed(const TableIndex::Column& col, size_t r,
-                                 CmpKind cmp,
-                                 const TableIndex::LiteralKey& ref) {
-    if (col.is_null[r]) return false;
-    switch (cmp) {
-      case CmpKind::kEq:
-        return TableIndex::CellEquals(col, r, ref);
-      case CmpKind::kNotEq:
-        return !TableIndex::CellEquals(col, r, ref);
-      case CmpKind::kGreater:
-        return TableIndex::CellCompare(col, r, ref) > 0;
-      case CmpKind::kLess:
-        return TableIndex::CellCompare(col, r, ref) < 0;
-      case CmpKind::kGreaterEq:
-        return TableIndex::CellCompare(col, r, ref) >= 0;
-      case CmpKind::kLessEq:
-        return TableIndex::CellCompare(col, r, ref) <= 0;
-    }
-    return false;
-  }
-
-  /// Rows of `view` matching `cmp ref` on column `col_idx`, in view order.
-  /// The equality + string-literal case probes the hash index and keeps
-  /// view order through a membership mask.
-  std::vector<size_t> MatchingRows(const std::vector<size_t>& view,
-                                   size_t col_idx, CmpKind cmp,
-                                   const Value& ref) const {
-    std::vector<size_t> out;
-    if (index_ == nullptr) {
-      rows_scanned_ += view.size();
-      for (size_t r : view) {
-        if (CellMatches(table_.cell(r, col_idx), cmp, ref)) out.push_back(r);
-      }
-      return out;
-    }
-    const TableIndex::Column& col = index_->column(col_idx);
-    TableIndex::LiteralKey key(ref);
-    if (cmp == CmpKind::kEq && !key.null && !key.numeric) {
-      auto hit = col.by_text.find(key.norm);
-      if (hit == col.by_text.end()) return out;
-      std::vector<uint8_t> member(table_.num_rows(), 0);
-      for (size_t r : hit->second) member[r] = 1;
-      for (size_t r : view) {
-        if (member[r]) out.push_back(r);
-      }
-      return out;
-    }
-    rows_scanned_ += view.size();
-    for (size_t r : view) {
-      if (CellMatchesIndexed(col, r, cmp, key)) out.push_back(r);
-    }
-    return out;
-  }
-
   // --- operator families --------------------------------------------------
 
   Result<LogicValue> ApplyFilter(const Node& node, CmpKind cmp) {
@@ -219,7 +359,8 @@ class Evaluator {
     UCTR_ASSIGN_OR_RETURN(std::vector<size_t> view, EvalView(*node.args[0]));
     UCTR_ASSIGN_OR_RETURN(size_t col, Column(*node.args[1]));
     UCTR_ASSIGN_OR_RETURN(Value ref, EvalScalar(*node.args[2]));
-    return LogicValue::View(MatchingRows(view, col, cmp, ref));
+    return LogicValue::View(internal::MatchingRows(
+        table_, index_, view, col, cmp, ref, &rows_scanned_));
   }
 
   Result<LogicValue> ApplyMajority(const Node& node, CmpKind cmp,
@@ -230,71 +371,12 @@ class Evaluator {
     UCTR_ASSIGN_OR_RETURN(Value ref, EvalScalar(*node.args[2]));
     if (view.empty()) return Status::EmptyResult("majority over empty view");
     MarkEvidence(view);
-    size_t hits = MatchingRows(view, col, cmp, ref).size();
+    size_t hits = internal::MatchingRows(table_, index_, view, col, cmp, ref,
+                                         &rows_scanned_)
+                      .size();
     bool verdict = require_all ? (hits == view.size())
                                : (hits * 2 > view.size());
     return LogicValue::Scalar(Value::Bool(verdict));
-  }
-
-  /// Rows of `view` ordered by column value; ties keep original order.
-  Result<std::vector<size_t>> OrderedRows(const std::vector<size_t>& view,
-                                          size_t col, bool descending) {
-    if (index_ != nullptr) return OrderedRowsIndexed(view, col, descending);
-    std::vector<size_t> rows;
-    for (size_t r : view) {
-      if (!table_.cell(r, col).is_null()) rows.push_back(r);
-    }
-    if (rows.empty()) return Status::EmptyResult("superlative on empty view");
-    std::stable_sort(rows.begin(), rows.end(), [&](size_t a, size_t b) {
-      int cmp = table_.cell(a, col).Compare(table_.cell(b, col));
-      return descending ? cmp > 0 : cmp < 0;
-    });
-    return rows;
-  }
-
-  /// OrderedRows through the index. A full view (the common `all_rows`
-  /// superlative) reuses the cached sorted permutation outright; subset
-  /// views stable-sort with cached comparison keys. Descending order is
-  /// derived from the ascending permutation by reversing tie groups, which
-  /// preserves original row order within ties exactly like a stable
-  /// descending sort.
-  Result<std::vector<size_t>> OrderedRowsIndexed(
-      const std::vector<size_t>& view, size_t col_idx, bool descending) {
-    const TableIndex::Column& col = index_->column(col_idx);
-    std::vector<size_t> rows;
-    if (view.size() == table_.num_rows()) {
-      // Views are duplicate-free subsets in ascending row order, so a
-      // full-size view is exactly 0..n-1: the cached permutation applies.
-      rows.reserve(col.non_null_count);
-      for (size_t r : col.sorted) {
-        if (!col.is_null[r]) rows.push_back(r);
-      }
-    } else {
-      for (size_t r : view) {
-        if (!col.is_null[r]) rows.push_back(r);
-      }
-      std::stable_sort(rows.begin(), rows.end(), [&col](size_t a, size_t b) {
-        return TableIndex::CompareRows(col, a, b) < 0;
-      });
-    }
-    if (rows.empty()) return Status::EmptyResult("superlative on empty view");
-    if (descending) {
-      std::vector<size_t> desc;
-      desc.reserve(rows.size());
-      size_t end = rows.size();
-      while (end > 0) {
-        size_t begin = end - 1;
-        while (begin > 0 &&
-               TableIndex::CompareRows(col, rows[begin - 1], rows[begin]) ==
-                   0) {
-          --begin;
-        }
-        for (size_t k = begin; k < end; ++k) desc.push_back(rows[k]);
-        end = begin;
-      }
-      rows = std::move(desc);
-    }
-    return rows;
   }
 
   Result<LogicValue> ApplyArgSuperlative(const Node& node, bool max,
@@ -306,11 +388,18 @@ class Evaluator {
     if (nth) {
       UCTR_ASSIGN_OR_RETURN(Value nv, EvalScalar(*node.args[2]));
       UCTR_ASSIGN_OR_RETURN(double nd, nv.ToNumber());
-      if (nd < 1) return Status::OutOfRange("ordinal must be >= 1");
-      n = static_cast<size_t>(nd);
+      // !(>= 1) also catches NaN, which would otherwise slip past a
+      // `nd < 1` test and make the size_t cast undefined (observed as a
+      // rows[-1] read under fuzzing). Saturate oversized ordinals so the
+      // cast stays defined; the view-size check below still rejects them.
+      if (!(nd >= 1)) return Status::OutOfRange("ordinal must be >= 1");
+      n = nd >= static_cast<double>(std::numeric_limits<size_t>::max())
+              ? std::numeric_limits<size_t>::max()
+              : static_cast<size_t>(nd);
     }
-    UCTR_ASSIGN_OR_RETURN(std::vector<size_t> rows,
-                          OrderedRows(view, col, /*descending=*/max));
+    UCTR_ASSIGN_OR_RETURN(
+        std::vector<size_t> rows,
+        internal::OrderedRows(table_, index_, view, col, /*descending=*/max));
     if (n > rows.size()) {
       return Status::OutOfRange("ordinal " + std::to_string(n) +
                                 " beyond view of " +
@@ -333,34 +422,11 @@ class Evaluator {
     UCTR_ASSIGN_OR_RETURN(std::vector<size_t> view, EvalView(*node.args[0]));
     UCTR_ASSIGN_OR_RETURN(size_t col, Column(*node.args[1]));
     MarkEvidence(view);
-    rows_scanned_ += view.size();
-    double sum = 0;
-    size_t n = 0;
-    if (index_ != nullptr) {
-      const TableIndex::Column& cache = index_->column(col);
-      for (size_t r : view) {
-        if (cache.is_null[r]) continue;
-        if (cache.numeric[r]) {
-          sum += cache.number[r];
-        } else {
-          // Non-numeric cell: surface the exact scan-path TypeError.
-          UCTR_ASSIGN_OR_RETURN(double x, table_.cell(r, col).ToNumber());
-          sum += x;
-        }
-        ++n;
-      }
-    } else {
-      for (size_t r : view) {
-        const Value& v = table_.cell(r, col);
-        if (v.is_null()) continue;
-        UCTR_ASSIGN_OR_RETURN(double x, v.ToNumber());
-        sum += x;
-        ++n;
-      }
-    }
-    if (n == 0) return Status::EmptyResult("aggregate over no values");
-    if (node.name == "sum") return LogicValue::Scalar(Value::Number(sum));
-    return LogicValue::Scalar(Value::Number(sum / static_cast<double>(n)));
+    UCTR_ASSIGN_OR_RETURN(
+        Value v, internal::ViewAggregate(table_, index_, view, col,
+                                         /*average=*/node.name != "sum",
+                                         &rows_scanned_));
+    return LogicValue::Scalar(std::move(v));
   }
 
   Result<LogicValue> Apply(const Node& node) {
@@ -373,20 +439,11 @@ class Evaluator {
         UCTR_ASSIGN_OR_RETURN(std::vector<size_t> view,
                               EvalView(*node.args[0]));
         UCTR_ASSIGN_OR_RETURN(size_t col, Column(*node.args[1]));
-        std::vector<size_t> out;
-        if (index_ != nullptr) {
-          const TableIndex::Column& cache = index_->column(col);
-          for (size_t r : view) {
-            if (!cache.is_null[r]) out.push_back(r);
-          }
-        } else {
-          for (size_t r : view) {
-            if (!table_.cell(r, col).is_null()) out.push_back(r);
-          }
-        }
-        return LogicValue::View(std::move(out));
+        return LogicValue::View(
+            internal::NonNullRows(table_, index_, view, col));
       }
-      UCTR_ASSIGN_OR_RETURN(CmpKind cmp, CmpFromSuffix(op, "filter_"));
+      UCTR_ASSIGN_OR_RETURN(CmpKind cmp,
+                            internal::CmpFromSuffix(op, "filter_"));
       return ApplyFilter(node, cmp);
     }
     if (op == "argmax") return ApplyArgSuperlative(node, true, false);
@@ -470,11 +527,11 @@ class Evaluator {
       return LogicValue::Scalar(Value::Bool(view.size() == 1));
     }
     if (StartsWith(op, "most_")) {
-      UCTR_ASSIGN_OR_RETURN(CmpKind cmp, CmpFromSuffix(op, "most_"));
+      UCTR_ASSIGN_OR_RETURN(CmpKind cmp, internal::CmpFromSuffix(op, "most_"));
       return ApplyMajority(node, cmp, /*require_all=*/false);
     }
     if (StartsWith(op, "all_")) {
-      UCTR_ASSIGN_OR_RETURN(CmpKind cmp, CmpFromSuffix(op, "all_"));
+      UCTR_ASSIGN_OR_RETURN(CmpKind cmp, internal::CmpFromSuffix(op, "all_"));
       return ApplyMajority(node, cmp, /*require_all=*/true);
     }
 
@@ -485,7 +542,7 @@ class Evaluator {
   const Table& table_;
   const TableIndex* index_;
   std::set<size_t> evidence_;
-  mutable size_t rows_scanned_ = 0;  ///< MatchingRows is const.
+  size_t rows_scanned_ = 0;
 };
 
 }  // namespace

@@ -103,7 +103,8 @@ void FeatureExtractor::AddInterpreter(const Sample& sample,
   if (interpreter_ == nullptr) return;
   auto interp = interpreter_->Interpret(sample.sentence,
                                         sample.evidence_table(),
-                                        TaskType::kFactVerification);
+                                        TaskType::kFactVerification,
+                                        sample.exec);
   if (!interp.ok()) {
     Add(out, "interp:none");
     return;

@@ -194,9 +194,9 @@ Result<std::map<std::string, std::string>> NlInterpreter::BindTemplate(
   return bindings;
 }
 
-std::vector<Interpretation> NlInterpreter::RankAll(const std::string& sentence,
-                                                   const Table& table,
-                                                   TaskType task) const {
+std::vector<Interpretation> NlInterpreter::RankAll(
+    const std::string& sentence, const Table& table, TaskType task,
+    const ExecOptions& exec) const {
   std::vector<Interpretation> out;
   for (size_t i = 0; i < templates_.size(); ++i) {
     const ProgramTemplate& tmpl = templates_[i];
@@ -215,9 +215,9 @@ std::vector<Interpretation> NlInterpreter::RankAll(const std::string& sentence,
     interp.bindings = std::move(bindings).ValueOrDie();
     interp.template_index = i;
 
-    auto exec = interp.program.Execute(table);
-    if (!exec.ok()) continue;
-    interp.result = std::move(exec).ValueOrDie();
+    auto executed = interp.program.Execute(table, exec);
+    if (!executed.ok()) continue;
+    interp.result = std::move(executed).ValueOrDie();
 
     auto re_realized = canonical_generator_.GenerateCanonical(interp.program);
     if (!re_realized.ok()) continue;
@@ -231,10 +231,10 @@ std::vector<Interpretation> NlInterpreter::RankAll(const std::string& sentence,
   return out;
 }
 
-Result<Interpretation> NlInterpreter::Interpret(const std::string& sentence,
-                                                const Table& table,
-                                                TaskType task) const {
-  std::vector<Interpretation> ranked = RankAll(sentence, table, task);
+Result<Interpretation> NlInterpreter::Interpret(
+    const std::string& sentence, const Table& table, TaskType task,
+    const ExecOptions& exec) const {
+  std::vector<Interpretation> ranked = RankAll(sentence, table, task, exec);
   if (ranked.empty()) {
     return Status::NotFound("no template binds and executes");
   }

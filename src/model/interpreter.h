@@ -40,14 +40,16 @@ class NlInterpreter {
 
   /// \brief All executable interpretations, best first. `task` selects
   /// claim-style binding (with a derived compared-to value) or
-  /// question-style binding.
-  std::vector<Interpretation> RankAll(const std::string& sentence,
-                                      const Table& table,
-                                      TaskType task) const;
+  /// question-style binding. `exec` picks the execution path for every
+  /// candidate program (compiled VM by default).
+  std::vector<Interpretation> RankAll(
+      const std::string& sentence, const Table& table, TaskType task,
+      const ExecOptions& exec = ExecOptions()) const;
 
   /// \brief Best interpretation, or NotFound when nothing binds+executes.
-  Result<Interpretation> Interpret(const std::string& sentence,
-                                   const Table& table, TaskType task) const;
+  Result<Interpretation> Interpret(
+      const std::string& sentence, const Table& table, TaskType task,
+      const ExecOptions& exec = ExecOptions()) const;
 
   /// \brief Extracts the claimed value from a claim sentence (the phrase
   /// after the final copula, e.g. "... is 8." -> "8"). Empty if absent.

@@ -48,7 +48,7 @@ std::vector<Interpretation> QaModel::Candidates(const Sample& sample) const {
   std::vector<Interpretation> out;
   if (config_.use_table) {
     out = interpreter_.RankAll(sample.sentence, sample.evidence_table(),
-                               TaskType::kQuestionAnswering);
+                               TaskType::kQuestionAnswering, sample.exec);
   }
   // Expansion reads the table too, so it needs both evidence kinds; the
   // Text-Span-only baseline (use_table = false) must not see cells.
@@ -58,7 +58,7 @@ std::vector<Interpretation> QaModel::Candidates(const Sample& sample) const {
     if (expanded.ok()) {
       std::vector<Interpretation> more = interpreter_.RankAll(
           sample.sentence, expanded.ValueOrDie(),
-          TaskType::kQuestionAnswering);
+          TaskType::kQuestionAnswering, sample.exec);
       for (Interpretation& interp : more) {
         // Slight preference for readings that use the joint evidence.
         interp.score += 0.05;

@@ -3,6 +3,7 @@
 //   uctr_load --connect HOST:PORT [--connections N] [--requests N]
 //             [--qps Q] [--pipeline D] [--tables T] [--put-table]
 //             [--op verify|answer|mixed] [--timeout-ms N]
+//             [--report-json FILE]
 //
 // Drives the TCP serving front end with N concurrent connections:
 //
@@ -29,6 +30,10 @@
 // the steady-state transport percentiles are not polluted by the one-time
 // warm-up cost.
 //
+// --report-json FILE writes the same numbers the console report prints as
+// a single machine-readable JSON object, so soak scripts and CI can gate
+// on throughput or tail latency without scraping stdout.
+//
 // Exit status: 0 iff every request got an in-order response and no
 // connection failed.
 
@@ -37,6 +42,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <deque>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -63,6 +69,7 @@ struct Options {
   size_t tables = 16;
   bool put_table = false;  // register fixtures once, then table_ref traffic
   std::string op = "mixed";
+  std::string report_json;  // empty = console report only
   int timeout_ms = 30000;
   int connect_retries = 50;  // the soak starts server + load concurrently
 };
@@ -335,7 +342,8 @@ int main(int argc, char** argv) {
     return Fail(
         "usage: uctr_load --connect HOST:PORT [--connections N] "
         "[--requests N] [--qps Q] [--pipeline D] [--tables T] "
-        "[--put-table] [--op verify|answer|mixed] [--timeout-ms N]");
+        "[--put-table] [--op verify|answer|mixed] [--timeout-ms N] "
+        "[--report-json FILE]");
   }
   auto host_port = net::ParseHostPort(connect_it->second);
   if (!host_port.ok()) return Fail(host_port.status().ToString());
@@ -350,6 +358,7 @@ int main(int argc, char** argv) {
   if (flags.count("tables")) options.tables = std::stoul(flags["tables"]);
   if (flags.count("put-table")) options.put_table = flags["put-table"] != "0";
   if (flags.count("op")) options.op = flags["op"];
+  if (flags.count("report-json")) options.report_json = flags["report-json"];
   if (flags.count("timeout-ms")) options.timeout_ms = std::stoi(flags["timeout-ms"]);
   if (options.connections == 0 || options.pipeline == 0 ||
       options.tables == 0) {
@@ -417,5 +426,45 @@ int main(int argc, char** argv) {
                tally.put_failures.load() == 0 &&
                received == options.requests;
   std::cout << (clean ? "RESULT: clean" : "RESULT: FAILED") << "\n";
+
+  if (!options.report_json.empty()) {
+    std::ofstream out(options.report_json, std::ios::trunc);
+    if (!out) return Fail("cannot write " + options.report_json);
+    out << "{\n"
+        << "  \"connections\": " << options.connections << ",\n"
+        << "  \"requests\": " << options.requests << ",\n"
+        << "  \"qps\": " << Fixed(options.qps, 1) << ",\n"
+        << "  \"pipeline\": " << options.pipeline << ",\n"
+        << "  \"op\": \"" << options.op << "\",\n"
+        << "  \"put_table\": " << (options.put_table ? "true" : "false")
+        << ",\n"
+        << "  \"sent\": " << sent << ",\n"
+        << "  \"responses\": " << received << ",\n"
+        << "  \"ok\": " << tally.ok.load() << ",\n"
+        << "  \"error\": " << tally.error.load() << ",\n"
+        << "  \"rejected\": " << tally.rejected.load() << ",\n"
+        << "  \"timeout\": " << tally.timeout.load() << ",\n"
+        << "  \"other_status\": " << tally.other_status.load() << ",\n"
+        << "  \"lost\": " << lost << ",\n"
+        << "  \"reordered\": " << tally.reordered.load() << ",\n"
+        << "  \"connect_failures\": " << tally.connect_failures.load()
+        << ",\n"
+        << "  \"put_failures\": " << tally.put_failures.load() << ",\n"
+        << "  \"wall_s\": " << Fixed(wall_s, 3) << ",\n"
+        << "  \"achieved_rps\": "
+        << Fixed(received / (wall_s > 0 ? wall_s : 1.0), 1) << ",\n"
+        << "  \"latency_us\": {\"mean\": " << Fixed(h.mean_micros(), 1)
+        << ", \"p50\": " << Fixed(h.QuantileMicros(0.50), 1)
+        << ", \"p90\": " << Fixed(h.QuantileMicros(0.90), 1)
+        << ", \"p99\": " << Fixed(h.QuantileMicros(0.99), 1)
+        << ", \"p999\": " << Fixed(h.QuantileMicros(0.999), 1) << "},\n";
+    const obs::Histogram& r = tally.registry_us;
+    out << "  \"registry_us\": {\"count\": " << r.count()
+        << ", \"mean\": " << Fixed(r.mean_micros(), 1)
+        << ", \"p50\": " << Fixed(r.QuantileMicros(0.50), 1)
+        << ", \"p99\": " << Fixed(r.QuantileMicros(0.99), 1) << "},\n"
+        << "  \"clean\": " << (clean ? "true" : "false") << "\n"
+        << "}\n";
+  }
   return clean ? 0 : 1;
 }

@@ -9,6 +9,10 @@
 
 namespace uctr {
 
+namespace ir {
+class PlanCache;
+}
+
 /// \brief The three program families of the paper (Section II-C).
 enum class ProgramType {
   kSql = 0,        ///< SQUALL-style SQL queries (question answering).
@@ -17,6 +21,21 @@ enum class ProgramType {
 };
 
 const char* ProgramTypeToString(ProgramType type);
+
+/// \brief How a Program executes. The default is the compiled path: lower
+/// to register bytecode (through the plan cache) and run the VM; programs
+/// the lowering rejects fall back to the family tree-walk executor. The
+/// two paths are byte-identical on the accepted subset (tests/ir_test.cc),
+/// so `use_vm` only changes cost, never answers — which also keeps the
+/// generation pipeline's RNG sequence unchanged.
+struct ExecOptions {
+  /// false = always tree-walk (the differential reference).
+  bool use_vm = true;
+  /// Forwarded to both paths' TableIndex usage.
+  bool use_index = true;
+  /// Compiled-plan cache; nullptr selects ir::PlanCache::Default().
+  ir::PlanCache* plan_cache = nullptr;
+};
 
 /// \brief A concrete executable program: a type tag plus its canonical text.
 ///
@@ -30,6 +49,9 @@ struct Program {
   /// execution failures surface as error Statuses so the generation
   /// pipeline can discard the sample (Algorithm 1, line 14).
   Result<ExecResult> Execute(const Table& table) const;
+
+  /// \brief Execute with explicit path selection (VM vs tree-walk).
+  Result<ExecResult> Execute(const Table& table, const ExecOptions& opts) const;
 
   /// \brief Syntax check without execution.
   Status Validate() const;

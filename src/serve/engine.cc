@@ -37,45 +37,49 @@ Result<InferenceEngine> InferenceEngine::Create(
 
 std::string InferenceEngine::Verify(
     Table&& table, const std::string& claim,
-    const std::vector<std::string>& paragraph) const {
+    const std::vector<std::string>& paragraph, const ExecOptions& exec) const {
   Sample sample;
   sample.task = TaskType::kFactVerification;
   sample.table = std::move(table);  // keeps a warmed index
   sample.sentence = claim;
   sample.paragraph = paragraph;
+  sample.exec = exec;
   return LabelToString(verifier_.Predict(sample));
 }
 
 std::string InferenceEngine::Verify(
     const Table& table, const std::string& claim,
-    const std::vector<std::string>& paragraph) const {
+    const std::vector<std::string>& paragraph, const ExecOptions& exec) const {
   Sample sample;
   sample.task = TaskType::kFactVerification;
   sample.shared_table = &table;  // borrowed: no copy, no index rebuild
   sample.sentence = claim;
   sample.paragraph = paragraph;
+  sample.exec = exec;
   return LabelToString(verifier_.Predict(sample));
 }
 
 std::string InferenceEngine::Answer(
     Table&& table, const std::string& question,
-    const std::vector<std::string>& paragraph) const {
+    const std::vector<std::string>& paragraph, const ExecOptions& exec) const {
   Sample sample;
   sample.task = TaskType::kQuestionAnswering;
   sample.table = std::move(table);  // keeps a warmed index
   sample.sentence = question;
   sample.paragraph = paragraph;
+  sample.exec = exec;
   return qa_.Predict(sample);
 }
 
 std::string InferenceEngine::Answer(
     const Table& table, const std::string& question,
-    const std::vector<std::string>& paragraph) const {
+    const std::vector<std::string>& paragraph, const ExecOptions& exec) const {
   Sample sample;
   sample.task = TaskType::kQuestionAnswering;
   sample.shared_table = &table;  // borrowed: no copy, no index rebuild
   sample.sentence = question;
   sample.paragraph = paragraph;
+  sample.exec = exec;
   return qa_.Predict(sample);
 }
 

@@ -57,17 +57,24 @@ class InferenceEngine {
   /// zero copy, zero index rebuild — which is how table_ref serving
   /// shares one registry-resident table across concurrent requests (the
   /// caller keeps the table alive, e.g. via the registry's shared_ptr).
+  /// All four entry points take `exec`, the program execution options for
+  /// this request: the server passes its plan cache here, and degraded
+  /// requests force the tree-walk path (use_vm = false).
   std::string Verify(Table&& table, const std::string& claim,
-                     const std::vector<std::string>& paragraph) const;
+                     const std::vector<std::string>& paragraph,
+                     const ExecOptions& exec = ExecOptions()) const;
   std::string Verify(const Table& table, const std::string& claim,
-                     const std::vector<std::string>& paragraph) const;
+                     const std::vector<std::string>& paragraph,
+                     const ExecOptions& exec = ExecOptions()) const;
 
   /// \brief Answer display string for `question`; empty when the model
   /// abstains. Same table move/borrow contract as Verify.
   std::string Answer(Table&& table, const std::string& question,
-                     const std::vector<std::string>& paragraph) const;
+                     const std::vector<std::string>& paragraph,
+                     const ExecOptions& exec = ExecOptions()) const;
   std::string Answer(const Table& table, const std::string& question,
-                     const std::vector<std::string>& paragraph) const;
+                     const std::vector<std::string>& paragraph,
+                     const ExecOptions& exec = ExecOptions()) const;
 
   /// \brief The claim templates the serving verifier interprets with.
   static std::vector<ProgramTemplate> VerifierTemplates();

@@ -7,10 +7,209 @@
 
 #include "common/numeric.h"
 #include "obs/metrics.h"
+#include "sql/exec_internal.h"
 #include "sql/parser.h"
 #include "table/index.h"
 
 namespace uctr::sql {
+
+namespace internal {
+
+bool EvalCondition(CmpOp op, const Value& literal, const Value& cell) {
+  if (cell.is_null()) return false;
+  switch (op) {
+    case CmpOp::kEq:
+      return cell.Equals(literal);
+    case CmpOp::kNe:
+      return !cell.Equals(literal);
+    case CmpOp::kLt:
+      return cell.Compare(literal) < 0;
+    case CmpOp::kGt:
+      return cell.Compare(literal) > 0;
+    case CmpOp::kLe:
+      return cell.Compare(literal) <= 0;
+    case CmpOp::kGe:
+      return cell.Compare(literal) >= 0;
+  }
+  return false;
+}
+
+bool EvalConditionIndexed(const TableIndex::Column& col, size_t r, CmpOp op,
+                          const TableIndex::LiteralKey& lit) {
+  if (col.is_null[r]) return false;
+  switch (op) {
+    case CmpOp::kEq:
+      return TableIndex::CellEquals(col, r, lit);
+    case CmpOp::kNe:
+      return !TableIndex::CellEquals(col, r, lit);
+    case CmpOp::kLt:
+      return TableIndex::CellCompare(col, r, lit) < 0;
+    case CmpOp::kGt:
+      return TableIndex::CellCompare(col, r, lit) > 0;
+    case CmpOp::kLe:
+      return TableIndex::CellCompare(col, r, lit) <= 0;
+    case CmpOp::kGe:
+      return TableIndex::CellCompare(col, r, lit) >= 0;
+  }
+  return false;
+}
+
+std::vector<size_t> FilterOneIndexed(const TableIndex::Column& col, CmpOp op,
+                                     const TableIndex::LiteralKey& lit,
+                                     const std::vector<size_t>& rows,
+                                     size_t* rows_scanned) {
+  std::vector<size_t> kept;
+  if (op == CmpOp::kEq && !lit.null && !lit.numeric) {
+    auto hit = col.by_text.find(lit.norm);
+    if (hit != col.by_text.end()) {
+      // Both lists are ascending: intersect directly. No per-row cell
+      // evaluation happens, so nothing is added to rows_scanned. A
+      // full-size rows list is the identity permutation (iota narrowed
+      // by nothing yet), so the posting list is already the answer.
+      if (rows.size() == col.is_null.size()) {
+        kept = hit->second;
+      } else {
+        std::set_intersection(rows.begin(), rows.end(), hit->second.begin(),
+                              hit->second.end(), std::back_inserter(kept));
+      }
+    }
+  } else {
+    kept.reserve(rows.size());
+    *rows_scanned += rows.size();
+    for (size_t r : rows) {
+      if (EvalConditionIndexed(col, r, op, lit)) kept.push_back(r);
+    }
+  }
+  return kept;
+}
+
+void FilterOneIndexed(const TableIndex::Column& col, CmpOp op,
+                      const TableIndex::LiteralKey& lit,
+                      std::vector<size_t>* rows, size_t* rows_scanned) {
+  *rows = FilterOneIndexed(col, op, lit, *rows, rows_scanned);
+}
+
+Result<Value> EvalAggregate(AggFunc agg, bool star, bool distinct, size_t col,
+                            const Table& table,
+                            const std::vector<size_t>& rows) {
+  if (agg == AggFunc::kCount) {
+    if (star) return Value::Number(static_cast<double>(rows.size()));
+    if (distinct) {
+      std::unordered_set<std::string> seen;
+      for (size_t r : rows) {
+        const Value& v = table.cell(r, col);
+        if (!v.is_null()) seen.insert(v.ToDisplayString());
+      }
+      return Value::Number(static_cast<double>(seen.size()));
+    }
+    size_t count = 0;
+    for (size_t r : rows) {
+      if (!table.cell(r, col).is_null()) ++count;
+    }
+    return Value::Number(static_cast<double>(count));
+  }
+
+  double sum = 0;
+  size_t n = 0;
+  bool first = true;
+  Value best;
+  for (size_t r : rows) {
+    const Value& v = table.cell(r, col);
+    if (v.is_null()) continue;
+    if (agg == AggFunc::kSum || agg == AggFunc::kAvg) {
+      UCTR_ASSIGN_OR_RETURN(double x, v.ToNumber());
+      sum += x;
+      ++n;
+    } else {  // MIN / MAX
+      if (first) {
+        best = v;
+        first = false;
+      } else if (agg == AggFunc::kMin ? v.Compare(best) < 0
+                                      : v.Compare(best) > 0) {
+        best = v;
+      }
+    }
+  }
+  switch (agg) {
+    case AggFunc::kSum:
+      if (n == 0) return Status::EmptyResult("SUM over no rows");
+      return Value::Number(sum);
+    case AggFunc::kAvg:
+      if (n == 0) return Status::EmptyResult("AVG over no rows");
+      return Value::Number(sum / static_cast<double>(n));
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      if (first) return Status::EmptyResult("MIN/MAX over no rows");
+      return best;
+    default:
+      return Status::Internal("unexpected aggregate");
+  }
+}
+
+Result<Value> EvalAggregateIndexed(AggFunc agg, bool star, bool distinct,
+                                   size_t col_idx, const Table& table,
+                                   const TableIndex& index,
+                                   const std::vector<size_t>& rows) {
+  if (agg == AggFunc::kCount) {
+    if (star) return Value::Number(static_cast<double>(rows.size()));
+    const TableIndex::Column& col = index.column(col_idx);
+    if (distinct) {
+      std::unordered_set<std::string_view> seen;
+      for (size_t r : rows) {
+        if (!col.is_null[r]) seen.insert(col.display[r]);
+      }
+      return Value::Number(static_cast<double>(seen.size()));
+    }
+    size_t count = 0;
+    for (size_t r : rows) {
+      if (!col.is_null[r]) ++count;
+    }
+    return Value::Number(static_cast<double>(count));
+  }
+
+  const TableIndex::Column& col = index.column(col_idx);
+  if (agg == AggFunc::kSum || agg == AggFunc::kAvg) {
+    double sum = 0;
+    size_t n = 0;
+    for (size_t r : rows) {
+      if (col.is_null[r]) continue;
+      if (col.numeric[r]) {
+        sum += col.number[r];
+      } else {
+        // Non-numeric cell: surface the exact scan-path TypeError.
+        UCTR_ASSIGN_OR_RETURN(double x, table.cell(r, col_idx).ToNumber());
+        sum += x;
+      }
+      ++n;
+    }
+    if (n == 0) {
+      return Status::EmptyResult(agg == AggFunc::kSum ? "SUM over no rows"
+                                                      : "AVG over no rows");
+    }
+    return Value::Number(agg == AggFunc::kSum ? sum
+                                              : sum / static_cast<double>(n));
+  }
+
+  // MIN / MAX: linear pass with cached comparison keys; ties keep the
+  // earliest row, exactly like the scan.
+  bool first = true;
+  size_t best_row = 0;
+  for (size_t r : rows) {
+    if (col.is_null[r]) continue;
+    if (first) {
+      best_row = r;
+      first = false;
+    } else if (agg == AggFunc::kMin
+                   ? TableIndex::CompareRows(col, r, best_row) < 0
+                   : TableIndex::CompareRows(col, r, best_row) > 0) {
+      best_row = r;
+    }
+  }
+  if (first) return Status::EmptyResult("MIN/MAX over no rows");
+  return table.cell(best_row, col_idx);
+}
+
+}  // namespace internal
 
 namespace {
 
@@ -32,47 +231,6 @@ struct SqlInstruments {
   }
 };
 
-bool EvalCondition(const Condition& cond, const Value& cell) {
-  if (cell.is_null()) return false;
-  switch (cond.op) {
-    case CmpOp::kEq:
-      return cell.Equals(cond.literal);
-    case CmpOp::kNe:
-      return !cell.Equals(cond.literal);
-    case CmpOp::kLt:
-      return cell.Compare(cond.literal) < 0;
-    case CmpOp::kGt:
-      return cell.Compare(cond.literal) > 0;
-    case CmpOp::kLe:
-      return cell.Compare(cond.literal) <= 0;
-    case CmpOp::kGe:
-      return cell.Compare(cond.literal) >= 0;
-  }
-  return false;
-}
-
-/// EvalCondition over cached column data; cell nullness handled here, the
-/// rest mirrors Value::Equals/Compare exactly (see TableIndex contract).
-bool EvalConditionIndexed(const TableIndex::Column& col, size_t r, CmpOp op,
-                          const TableIndex::LiteralKey& lit) {
-  if (col.is_null[r]) return false;
-  switch (op) {
-    case CmpOp::kEq:
-      return TableIndex::CellEquals(col, r, lit);
-    case CmpOp::kNe:
-      return !TableIndex::CellEquals(col, r, lit);
-    case CmpOp::kLt:
-      return TableIndex::CellCompare(col, r, lit) < 0;
-    case CmpOp::kGt:
-      return TableIndex::CellCompare(col, r, lit) > 0;
-    case CmpOp::kLe:
-      return TableIndex::CellCompare(col, r, lit) <= 0;
-    case CmpOp::kGe:
-      return TableIndex::CellCompare(col, r, lit) >= 0;
-  }
-  return false;
-}
-
 /// WHERE evaluation through the index. Conditions are applied in order to
 /// a shrinking row set; an exhausted set stops early, matching the scan
 /// path (which never resolves a condition's column once no row reaches
@@ -88,152 +246,25 @@ Result<std::vector<size_t>> FilterIndexed(const std::vector<Condition>& where,
     UCTR_ASSIGN_OR_RETURN(size_t c, table.ColumnIndex(cond.column));
     const TableIndex::Column& col = index.column(c);
     TableIndex::LiteralKey lit(cond.literal);
-    std::vector<size_t> kept;
-    if (cond.op == CmpOp::kEq && !lit.null && !lit.numeric) {
-      auto hit = col.by_text.find(lit.norm);
-      if (hit != col.by_text.end()) {
-        // Both lists are ascending: intersect directly. No per-row cell
-        // evaluation happens, so nothing is added to rows_scanned.
-        std::set_intersection(rows.begin(), rows.end(), hit->second.begin(),
-                              hit->second.end(), std::back_inserter(kept));
-      }
-    } else {
-      kept.reserve(rows.size());
-      *rows_scanned += rows.size();
-      for (size_t r : rows) {
-        if (EvalConditionIndexed(col, r, cond.op, lit)) kept.push_back(r);
-      }
-    }
-    rows = std::move(kept);
+    internal::FilterOneIndexed(col, cond.op, lit, &rows, rows_scanned);
   }
   return rows;
 }
 
-Result<Value> EvalAggregate(const SelectItem& item, const Table& table,
-                            const std::vector<size_t>& rows) {
-  if (item.agg == AggFunc::kCount) {
-    if (item.star) return Value::Number(static_cast<double>(rows.size()));
-    UCTR_ASSIGN_OR_RETURN(size_t c, table.ColumnIndex(item.column));
-    if (item.distinct) {
-      std::unordered_set<std::string> seen;
-      for (size_t r : rows) {
-        const Value& v = table.cell(r, c);
-        if (!v.is_null()) seen.insert(v.ToDisplayString());
-      }
-      return Value::Number(static_cast<double>(seen.size()));
-    }
-    size_t count = 0;
-    for (size_t r : rows) {
-      if (!table.cell(r, c).is_null()) ++count;
-    }
-    return Value::Number(static_cast<double>(count));
+/// Resolves a SelectItem's column (when needed) then aggregates.
+Result<Value> EvalAggregateItem(const SelectItem& item, const Table& table,
+                                const TableIndex* index,
+                                const std::vector<size_t>& rows) {
+  size_t c = 0;
+  if (!item.star) {
+    UCTR_ASSIGN_OR_RETURN(c, table.ColumnIndex(item.column));
   }
-
-  UCTR_ASSIGN_OR_RETURN(size_t c, table.ColumnIndex(item.column));
-  double sum = 0;
-  size_t n = 0;
-  bool first = true;
-  Value best;
-  for (size_t r : rows) {
-    const Value& v = table.cell(r, c);
-    if (v.is_null()) continue;
-    if (item.agg == AggFunc::kSum || item.agg == AggFunc::kAvg) {
-      UCTR_ASSIGN_OR_RETURN(double x, v.ToNumber());
-      sum += x;
-      ++n;
-    } else {  // MIN / MAX
-      if (first) {
-        best = v;
-        first = false;
-      } else if (item.agg == AggFunc::kMin ? v.Compare(best) < 0
-                                           : v.Compare(best) > 0) {
-        best = v;
-      }
-    }
+  if (index != nullptr) {
+    return internal::EvalAggregateIndexed(item.agg, item.star, item.distinct,
+                                          c, table, *index, rows);
   }
-  switch (item.agg) {
-    case AggFunc::kSum:
-      if (n == 0) return Status::EmptyResult("SUM over no rows");
-      return Value::Number(sum);
-    case AggFunc::kAvg:
-      if (n == 0) return Status::EmptyResult("AVG over no rows");
-      return Value::Number(sum / static_cast<double>(n));
-    case AggFunc::kMin:
-    case AggFunc::kMax:
-      if (first) return Status::EmptyResult("MIN/MAX over no rows");
-      return best;
-    default:
-      return Status::Internal("unexpected aggregate");
-  }
-}
-
-/// EvalAggregate over the numeric column cache (SUM/AVG read pre-parsed
-/// doubles, MIN/MAX compare cached keys, COUNT DISTINCT hashes cached
-/// display strings without materializing copies).
-Result<Value> EvalAggregateIndexed(const SelectItem& item, const Table& table,
-                                   const TableIndex& index,
-                                   const std::vector<size_t>& rows) {
-  if (item.agg == AggFunc::kCount) {
-    if (item.star) return Value::Number(static_cast<double>(rows.size()));
-    UCTR_ASSIGN_OR_RETURN(size_t c, table.ColumnIndex(item.column));
-    const TableIndex::Column& col = index.column(c);
-    if (item.distinct) {
-      std::unordered_set<std::string_view> seen;
-      for (size_t r : rows) {
-        if (!col.is_null[r]) seen.insert(col.display[r]);
-      }
-      return Value::Number(static_cast<double>(seen.size()));
-    }
-    size_t count = 0;
-    for (size_t r : rows) {
-      if (!col.is_null[r]) ++count;
-    }
-    return Value::Number(static_cast<double>(count));
-  }
-
-  UCTR_ASSIGN_OR_RETURN(size_t c, table.ColumnIndex(item.column));
-  const TableIndex::Column& col = index.column(c);
-  if (item.agg == AggFunc::kSum || item.agg == AggFunc::kAvg) {
-    double sum = 0;
-    size_t n = 0;
-    for (size_t r : rows) {
-      if (col.is_null[r]) continue;
-      if (col.numeric[r]) {
-        sum += col.number[r];
-      } else {
-        // Non-numeric cell: surface the exact scan-path TypeError.
-        UCTR_ASSIGN_OR_RETURN(double x, table.cell(r, c).ToNumber());
-        sum += x;
-      }
-      ++n;
-    }
-    if (n == 0) {
-      return Status::EmptyResult(item.agg == AggFunc::kSum
-                                     ? "SUM over no rows"
-                                     : "AVG over no rows");
-    }
-    return Value::Number(item.agg == AggFunc::kSum
-                             ? sum
-                             : sum / static_cast<double>(n));
-  }
-
-  // MIN / MAX: linear pass with cached comparison keys; ties keep the
-  // earliest row, exactly like the scan.
-  bool first = true;
-  size_t best_row = 0;
-  for (size_t r : rows) {
-    if (col.is_null[r]) continue;
-    if (first) {
-      best_row = r;
-      first = false;
-    } else if (item.agg == AggFunc::kMin
-                   ? TableIndex::CompareRows(col, r, best_row) < 0
-                   : TableIndex::CompareRows(col, r, best_row) > 0) {
-      best_row = r;
-    }
-  }
-  if (first) return Status::EmptyResult("MIN/MAX over no rows");
-  return table.cell(best_row, c);
+  return internal::EvalAggregate(item.agg, item.star, item.distinct, c, table,
+                                 rows);
 }
 
 }  // namespace
@@ -259,7 +290,7 @@ Result<ExecResult> Execute(const SelectStatement& stmt, const Table& table,
       bool keep = true;
       for (const Condition& cond : stmt.where) {
         UCTR_ASSIGN_OR_RETURN(size_t c, table.ColumnIndex(cond.column));
-        if (!EvalCondition(cond, table.cell(r, c))) {
+        if (!internal::EvalCondition(cond.op, cond.literal, table.cell(r, c))) {
           keep = false;
           break;
         }
@@ -307,8 +338,7 @@ Result<ExecResult> Execute(const SelectStatement& stmt, const Table& table,
         return Status::InvalidArgument(
             "mixing aggregates and plain columns is not supported");
       }
-      Result<Value> v = index ? EvalAggregateIndexed(item, table, *index, rows)
-                              : EvalAggregate(item, table, rows);
+      Result<Value> v = EvalAggregateItem(item, table, index, rows);
       UCTR_RETURN_NOT_OK(v.status());
       result.values.push_back(std::move(v).ValueOrDie());
     }

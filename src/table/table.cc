@@ -100,6 +100,29 @@ bool Schema::HasColumn(std::string_view name) const {
   return ColumnIndex(name).ok();
 }
 
+uint64_t Schema::Fingerprint() const {
+  // FNV-1a streamed over "name \x1f type \x1e" per column. The byte layout
+  // is a compatibility contract with serialized plans (ir/codec.cc stores
+  // the resulting fingerprint); change it and every cached/persisted plan
+  // silently misses, so don't.
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const char* p, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      h ^= static_cast<unsigned char>(p[i]);
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const ColumnSpec& col : columns_) {
+    mix(col.name.data(), col.name.size());
+    char tail[2] = {'\x1f',
+                    static_cast<char>('0' + static_cast<int>(col.type))};
+    mix(tail, 2);
+    char sep = '\x1e';
+    mix(&sep, 1);
+  }
+  return h;
+}
+
 namespace {
 
 /// Parses one CSV record starting at `*pos`; advances past the trailing
