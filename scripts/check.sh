@@ -20,6 +20,12 @@
 #   scripts/check.sh store                  # store_test + a put_table/
 #                                           # table_ref loopback soak
 #                                           # (uctr_load --put-table)
+#   scripts/check.sh router                 # router_test + a sharded soak
+#                                           # (uctr_load through uctr_router
+#                                           # over 2 uctr_serve backends,
+#                                           # clean and chaos variants,
+#                                           # SIGTERM drain of the whole
+#                                           # stack)
 #   scripts/check.sh plan                   # ir_test (IR/VM/plan-cache
 #                                           # differential suite) + a
 #                                           # uctr_serve drill with the
@@ -180,6 +186,79 @@ if [[ "${1:-}" == store ]]; then
   fi
   rm -f "$errlog"
   echo "store ($SANITIZE) check passed"
+  exit 0
+fi
+if [[ "${1:-}" == router ]]; then
+  # Router mode: the ring/routing/failover suite under the sanitizer, then
+  # a soak of the real stack — two uctr_serve backends behind uctr_router,
+  # driven by uctr_load through the router endpoint. Run clean, then with
+  # router-site faults armed (transient connect/send/recv errors must be
+  # retried or failed over — every response still arrives), then SIGTERM
+  # the router and require a graceful drain with exit 0.
+  ./tests/router_test
+
+  start_serve() {  # start_serve ERRLOG -> echoes port, backend pid in $!
+    local errlog="$1"
+    ./src/serve/uctr_serve serve --workers 4 --listen 127.0.0.1:0 \
+      2>"$errlog" &
+  }
+  scrape_port() {  # scrape_port ERRLOG NAME
+    local errlog="$1" name="$2" port=""
+    for _ in $(seq 1 100); do
+      port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+        "$errlog" | head -n1)
+      [[ -n "$port" ]] && break
+      sleep 0.1
+    done
+    if [[ -z "$port" ]]; then
+      echo "router soak: $name never announced its port" >&2
+      cat "$errlog" >&2
+      exit 1
+    fi
+    echo "$port"
+  }
+
+  run_router_soak() {  # run_router_soak NAME [extra uctr_router flags...]
+    local name="$1"; shift
+    local b1_log b2_log r_log b1_port b2_port r_port
+    b1_log=$(mktemp); b2_log=$(mktemp); r_log=$(mktemp)
+    start_serve "$b1_log"; local b1_pid=$!
+    start_serve "$b2_log"; local b2_pid=$!
+    b1_port=$(scrape_port "$b1_log" "backend 1")
+    b2_port=$(scrape_port "$b2_log" "backend 2")
+    ./src/net/uctr_router --listen 127.0.0.1:0 \
+      --backends "127.0.0.1:$b1_port,127.0.0.1:$b2_port" \
+      --workers 16 "$@" 2>"$r_log" &
+    local r_pid=$!
+    r_port=$(scrape_port "$r_log" "router")
+    if ! ./src/net/uctr_load --router "127.0.0.1:$r_port" \
+        --connections 16 --requests 960 --pipeline 8 --tables 8; then
+      echo "router soak ($name): uctr_load reported lost/reordered responses" >&2
+      kill "$r_pid" "$b1_pid" "$b2_pid" 2>/dev/null || true
+      exit 1
+    fi
+    kill -TERM "$r_pid"
+    local r_rc=0
+    wait "$r_pid" || r_rc=$?
+    if [[ "$r_rc" -ne 0 ]]; then
+      echo "router soak ($name): uctr_router exited $r_rc after SIGTERM" >&2
+      cat "$r_log" >&2
+      exit 1
+    fi
+    kill -TERM "$b1_pid" "$b2_pid"
+    wait "$b1_pid" "$b2_pid" || {
+      echo "router soak ($name): a backend exited nonzero after SIGTERM" >&2
+      exit 1
+    }
+    rm -f "$b1_log" "$b2_log" "$r_log"
+    echo "router soak ($name) passed"
+  }
+
+  run_router_soak clean
+  run_router_soak chaos --fault-spec \
+    'router.send=error(unavailable):p=0.05;router.recv=error(unavailable):p=0.05' \
+    --fault-seed 7
+  echo "router ($SANITIZE) check passed"
   exit 0
 fi
 if [[ "${1:-}" == plan ]]; then

@@ -91,11 +91,28 @@ Result<std::string> Client::RecvTimeout(int timeout_ms) {
   char buf[65536];
   auto deadline = std::chrono::steady_clock::now() +
                   std::chrono::milliseconds(timeout_ms);
+  // `left` is recomputed from the absolute deadline after EVERY wakeup —
+  // poll returns, EINTR, partial reads — so neither a signal storm nor a
+  // peer trickling one byte per wakeup can extend the effective timeout:
+  // each iteration either makes frame progress or burns real deadline.
+  bool first_poll = true;
   while (true) {
+    auto now = std::chrono::steady_clock::now();
     auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-                    deadline - std::chrono::steady_clock::now())
+                    deadline - now)
                     .count();
-    if (left < 0) left = 0;
+    if (left <= 0) {
+      // Deadline spent. One zero-timeout poll is still allowed on entry
+      // (RecvTimeout(0) means "drain what is already readable"), but a
+      // loop that re-enters here — e.g. poll kept failing with EINTR
+      // under repeated signals — must give up rather than spin.
+      if (!first_poll) {
+        return Status::DeadlineExceeded("no response frame within " +
+                                        std::to_string(timeout_ms) + " ms");
+      }
+      left = 0;
+    }
+    first_poll = false;
     struct pollfd pfd = {fd_, POLLIN, 0};
     int ready = poll(&pfd, 1, static_cast<int>(left));
     if (ready < 0) {
@@ -106,7 +123,12 @@ Result<std::string> Client::RecvTimeout(int timeout_ms) {
       return Status::DeadlineExceeded("no response frame within " +
                                       std::to_string(timeout_ms) + " ms");
     }
-    ssize_t n = read(fd_, buf, sizeof(buf));
+    // Non-blocking read even though the fd is blocking: poll readability
+    // is only a hint (a spurious wakeup, or bytes consumed by the kernel
+    // after checksum failure, leaves nothing to read), and a blocking
+    // read here would hang past the deadline. MSG_DONTWAIT makes the
+    // EAGAIN branch below real instead of dead code.
+    ssize_t n = recv(fd_, buf, sizeof(buf), MSG_DONTWAIT);
     if (n > 0) {
       UCTR_RETURN_NOT_OK(decoder_.Feed(buf, static_cast<size_t>(n)));
       if (decoder_.Next(&payload)) return payload;

@@ -20,8 +20,17 @@ Result<std::string> EncodeFrame(std::string_view payload,
   if (payload.empty()) {
     return Status::InvalidArgument("cannot encode a zero-length frame");
   }
-  if (payload.size() > max_frame_bytes ||
-      payload.size() > UINT32_MAX) {
+  // Two distinct rejections: the configurable frame limit, and the hard
+  // 4-byte header width. The latter must hold even if a caller raises
+  // max_frame_bytes past 4 GiB — truncating a 64-bit size_t into the u32
+  // header would frame the first (size % 2^32) bytes as a valid-looking
+  // message and desynchronize the stream from then on.
+  if (payload.size() > UINT32_MAX) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(payload.size()) +
+        " bytes cannot be represented in the 32-bit frame header");
+  }
+  if (payload.size() > max_frame_bytes) {
     return Status::InvalidArgument(
         "frame payload of " + std::to_string(payload.size()) +
         " bytes exceeds the " + std::to_string(max_frame_bytes) +

@@ -64,7 +64,7 @@ struct Server::Connection {
   }
 };
 
-Server::Server(serve::Server* backend, NetServerConfig config)
+Server::Server(serve::LineBackend* backend, NetServerConfig config)
     : backend_(backend),
       config_(config),
       metrics_(config.metrics != nullptr ? config.metrics

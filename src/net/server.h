@@ -14,7 +14,7 @@
 #include "net/frame.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "serve/server.h"
+#include "serve/backend.h"
 
 namespace uctr::net {
 
@@ -62,9 +62,10 @@ struct NetServerConfig {
 
 /// \brief The epoll TCP front end: accepts connections, decodes
 /// length-prefixed frames (see net/frame.h), dispatches each payload to a
-/// serve::Server, and writes framed responses back — per connection, in
-/// the order the requests arrived on that connection, regardless of how
-/// workers interleave.
+/// serve::LineBackend — the local worker pool (serve::Server) or the
+/// shard router (net::Router) — and writes framed responses back — per
+/// connection, in the order the requests arrived on that connection,
+/// regardless of how workers interleave.
 ///
 /// Threading model: all connection state lives on the thread inside
 /// Run(). Worker completion callbacks cross back via EventLoop::Post, so
@@ -88,7 +89,7 @@ class Server {
   /// \param backend not owned; must outlive the net::Server. The
   /// destructor drains it so no completion callback can outlive this
   /// transport.
-  Server(serve::Server* backend, NetServerConfig config);
+  Server(serve::LineBackend* backend, NetServerConfig config);
   ~Server();
 
   Server(const Server&) = delete;
@@ -143,7 +144,7 @@ class Server {
   void Tick();
   void CheckDrainComplete();
 
-  serve::Server* backend_;
+  serve::LineBackend* backend_;
   NetServerConfig config_;
   obs::MetricsRegistry* metrics_;
   obs::Tracer* tracer_;

@@ -1,9 +1,23 @@
-// uctr_load — multi-connection load generator for `uctr_serve --listen`.
+// uctr_load — multi-connection load generator for `uctr_serve --listen`
+// and `uctr_router`.
 //
 //   uctr_load --connect HOST:PORT [--connections N] [--requests N]
 //             [--qps Q] [--pipeline D] [--tables T] [--put-table]
-//             [--op verify|answer|mixed] [--timeout-ms N]
-//             [--report-json FILE]
+//             [--distinct-tables] [--op verify|answer|mixed]
+//             [--timeout-ms N] [--report-json FILE]
+//   uctr_load --router HOST:PORT[,HOST:PORT...] [same flags]
+//
+// --router is the horizontal-scaling mode: connections are spread
+// round-robin across the listed endpoints (typically one uctr_router, or
+// several for router redundancy). The protocol and every check below are
+// identical — a router is indistinguishable from a single backend on the
+// wire, so the ordering check doubles as the router's correctness gate.
+//
+// --distinct-tables makes every request carry a unique table variant
+// (inline-CSV modes only): each request then misses the result cache, so
+// the measured throughput is the execute path, not cache hits. This is
+// what the router scaling benchmark uses — cache hits are answered at the
+// backend's front door and would hide the per-shard work being scaled.
 //
 // Drives the TCP serving front end with N concurrent connections:
 //
@@ -60,14 +74,16 @@ using namespace uctr;
 using Clock = std::chrono::steady_clock;
 
 struct Options {
-  std::string host;
-  uint16_t port = 0;
+  /// Connections are dealt round-robin across these (one entry for
+  /// --connect; one or more for --router).
+  std::vector<net::HostPort> endpoints;
   size_t connections = 8;
   size_t requests = 1000;  // total, split round-robin across connections
   double qps = 0.0;        // 0 = closed loop
   size_t pipeline = 1;
   size_t tables = 16;
   bool put_table = false;  // register fixtures once, then table_ref traffic
+  bool distinct_tables = false;  // unique table per request (cache busting)
   std::string op = "mixed";
   std::string report_json;  // empty = console report only
   int timeout_ms = 30000;
@@ -151,28 +167,50 @@ std::string BuildRefRequest(uint64_t id, size_t variant,
 /// Registers every table variant over `client`, one synchronous
 /// `put_table` round-trip each (ids 1..tables), recording each round-trip
 /// in the registry histogram. Returns the fingerprints by variant, or an
-/// empty vector on any failure.
+/// empty vector on any failure — after reporting WHAT failed on stderr:
+/// a put that silently dies here used to surface only as "put failures 1"
+/// with the server's actual error response discarded.
 std::vector<std::string> RegisterTables(net::Client* client,
                                         const Options& options,
                                         Tally* tally) {
   std::vector<std::string> fingerprints;
   fingerprints.reserve(options.tables);
   for (size_t variant = 0; variant < options.tables; ++variant) {
-    std::string request = "{\"id\":" + std::to_string(variant + 1) +
+    const uint64_t id = static_cast<uint64_t>(variant) + 1;
+    std::string request = "{\"id\":" + std::to_string(id) +
                           ",\"op\":\"put_table\",\"table\":\"" +
                           EscapeForJson(MakeCsv(variant)) + "\"}";
     Clock::time_point sent_at = Clock::now();
-    if (!client->Send(request).ok()) return {};
+    if (Status sent = client->Send(request); !sent.ok()) {
+      std::cerr << "uctr_load: put_table id " << id
+                << " send failed: " << sent.ToString() << "\n";
+      return {};
+    }
     auto line = client->RecvTimeout(options.timeout_ms);
-    if (!line.ok()) return {};
+    if (!line.ok()) {
+      std::cerr << "uctr_load: put_table id " << id
+                << " recv failed: " << line.status().ToString() << "\n";
+      return {};
+    }
     tally->registry_us.Observe(
         std::chrono::duration<double, std::micro>(Clock::now() - sent_at)
             .count());
     auto parsed = json::Parse(*line);
-    if (!parsed.ok() || !parsed->is_object()) return {};
-    std::string fingerprint =
-        json::GetStringOr(parsed->as_object(), "fingerprint", "");
-    if (fingerprint.empty()) return {};
+    if (!parsed.ok() || !parsed->is_object()) {
+      std::cerr << "uctr_load: put_table id " << id
+                << " unparseable response: " << *line << "\n";
+      return {};
+    }
+    const json::Value::Object& obj = parsed->as_object();
+    uint64_t got_id = static_cast<uint64_t>(json::GetNumberOr(obj, "id", 0));
+    std::string fingerprint = json::GetStringOr(obj, "fingerprint", "");
+    if (got_id != id || fingerprint.empty()) {
+      // Print the response verbatim: it carries the server's own error
+      // ("rejected", a parse error, ...), which is the actionable part.
+      std::cerr << "uctr_load: put_table id " << id
+                << " failed, response: " << *line << "\n";
+      return {};
+    }
     fingerprints.push_back(std::move(fingerprint));
   }
   return fingerprints;
@@ -208,10 +246,11 @@ void ScoreResponse(const std::string& line, uint64_t expected_id,
   }
 }
 
-Result<net::Client> ConnectWithRetry(const Options& options) {
+Result<net::Client> ConnectWithRetry(const Options& options,
+                                     const net::HostPort& endpoint) {
   Status last = Status::Unavailable("no attempt");
   for (int attempt = 0; attempt <= options.connect_retries; ++attempt) {
-    auto client = net::Client::Connect(options.host, options.port);
+    auto client = net::Client::Connect(endpoint.host, endpoint.port);
     if (client.ok()) return client;
     last = client.status();
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
@@ -227,7 +266,9 @@ bool WantVerify(const Options& options, uint64_t id) {
 
 void RunConnection(const Options& options, size_t conn_index,
                    size_t my_requests, Tally* tally) {
-  auto client = ConnectWithRetry(options);
+  const net::HostPort& endpoint =
+      options.endpoints[conn_index % options.endpoints.size()];
+  auto client = ConnectWithRetry(options, endpoint);
   if (!client.ok()) {
     tally->connect_failures.fetch_add(1, std::memory_order_relaxed);
     tally->lost.fetch_add(my_requests, std::memory_order_relaxed);
@@ -251,6 +292,11 @@ void RunConnection(const Options& options, size_t conn_index,
   uint64_t next_recv_id = id0 + 1;
   auto build = [&](uint64_t id) {
     size_t variant = (conn_index + id) % options.tables;
+    if (options.distinct_tables && !options.put_table) {
+      // Globally unique variant: no two requests in the whole run share a
+      // table, so every one is a result-cache miss.
+      variant = conn_index * my_requests + static_cast<size_t>(id - id0);
+    }
     bool verify = WantVerify(options, id);
     return options.put_table
                ? BuildRefRequest(id, variant, fingerprints[variant], verify)
@@ -338,17 +384,32 @@ int main(int argc, char** argv) {
     flags[key] = value;
   }
   auto connect_it = flags.find("connect");
-  if (connect_it == flags.end()) {
+  auto router_it = flags.find("router");
+  if ((connect_it == flags.end()) == (router_it == flags.end())) {
     return Fail(
-        "usage: uctr_load --connect HOST:PORT [--connections N] "
+        "usage: uctr_load --connect HOST:PORT | "
+        "--router HOST:PORT[,HOST:PORT...] [--connections N] "
         "[--requests N] [--qps Q] [--pipeline D] [--tables T] "
-        "[--put-table] [--op verify|answer|mixed] [--timeout-ms N] "
-        "[--report-json FILE]");
+        "[--put-table] [--distinct-tables] [--op verify|answer|mixed] "
+        "[--timeout-ms N] [--report-json FILE]");
   }
-  auto host_port = net::ParseHostPort(connect_it->second);
-  if (!host_port.ok()) return Fail(host_port.status().ToString());
-  options.host = host_port->host;
-  options.port = host_port->port;
+  std::string endpoint_list = connect_it != flags.end() ? connect_it->second
+                                                        : router_it->second;
+  for (size_t pos = 0; pos <= endpoint_list.size();) {
+    size_t comma = endpoint_list.find(',', pos);
+    std::string piece = endpoint_list.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!piece.empty()) {
+      auto host_port = net::ParseHostPort(piece);
+      if (!host_port.ok()) return Fail(host_port.status().ToString());
+      options.endpoints.push_back(*host_port);
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (options.endpoints.empty()) {
+    return Fail("no endpoint in '" + endpoint_list + "'");
+  }
   if (flags.count("connections")) {
     options.connections = std::stoul(flags["connections"]);
   }
@@ -357,6 +418,9 @@ int main(int argc, char** argv) {
   if (flags.count("pipeline")) options.pipeline = std::stoul(flags["pipeline"]);
   if (flags.count("tables")) options.tables = std::stoul(flags["tables"]);
   if (flags.count("put-table")) options.put_table = flags["put-table"] != "0";
+  if (flags.count("distinct-tables")) {
+    options.distinct_tables = flags["distinct-tables"] != "0";
+  }
   if (flags.count("op")) options.op = flags["op"];
   if (flags.count("report-json")) options.report_json = flags["report-json"];
   if (flags.count("timeout-ms")) options.timeout_ms = std::stoi(flags["timeout-ms"]);
@@ -384,7 +448,9 @@ int main(int argc, char** argv) {
   uint64_t sent = tally.sent.load();
   uint64_t received = tally.received.load();
   uint64_t lost = tally.lost.load() + (sent - received);
-  std::cout << "uctr_load: " << options.connections << " connections, "
+  std::cout << "uctr_load: " << options.connections << " connections over "
+            << options.endpoints.size() << " endpoint"
+            << (options.endpoints.size() == 1 ? "" : "s") << ", "
             << options.requests << " requests, "
             << (options.qps > 0.0
                     ? "open loop @ " + Fixed(options.qps, 0) + " qps"
@@ -431,6 +497,7 @@ int main(int argc, char** argv) {
     std::ofstream out(options.report_json, std::ios::trunc);
     if (!out) return Fail("cannot write " + options.report_json);
     out << "{\n"
+        << "  \"endpoints\": " << options.endpoints.size() << ",\n"
         << "  \"connections\": " << options.connections << ",\n"
         << "  \"requests\": " << options.requests << ",\n"
         << "  \"qps\": " << Fixed(options.qps, 1) << ",\n"

@@ -1,0 +1,46 @@
+#ifndef UCTR_SERVE_BACKEND_H_
+#define UCTR_SERVE_BACKEND_H_
+
+#include <functional>
+#include <string>
+
+namespace uctr::serve {
+
+/// \brief The line-oriented request backend a transport front end serves.
+///
+/// One JSON request object in, one JSON response line out, delivered via
+/// `done` exactly once — inline on the caller's thread or later on some
+/// worker thread, at the implementation's discretion. The contract the
+/// front ends (stdio loop, net::Server) rely on:
+///
+///   - SubmitLine never blocks the caller for the duration of the request
+///     (inline completions are allowed, indefinite waits are not): the
+///     TCP front end calls it on its event-loop thread;
+///   - `done` runs exactly once per SubmitLine, even for malformed input
+///     (the error response IS the completion);
+///   - Drain() blocks until every submitted request has completed, which
+///     is what makes the front ends' shutdown barriers exact;
+///   - set_draining flips what the in-band `health` op reports, steering
+///     load balancers away before the socket actually closes.
+///
+/// Implementations: serve::Server (a worker pool over the local inference
+/// engine) and net::Router (a consistent-hash shard router over remote
+/// serve::Server backends). Because both sit behind this interface, the
+/// same net::Server transport — framing, per-connection response
+/// ordering, watermarks, drain barrier — fronts either one, and a client
+/// cannot tell from the bytes whether it spoke to a single process or a
+/// routed pool.
+class LineBackend {
+ public:
+  virtual ~LineBackend() = default;
+
+  virtual void SubmitLine(const std::string& line,
+                          std::function<void(std::string)> done) = 0;
+  virtual void Drain() = 0;
+  virtual void set_draining(bool draining) = 0;
+  virtual bool draining() const = 0;
+};
+
+}  // namespace uctr::serve
+
+#endif  // UCTR_SERVE_BACKEND_H_

@@ -147,6 +147,11 @@ size_t Scheduler::QueueDepth() const {
   return queue_.size();
 }
 
+size_t Scheduler::InFlight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
 double Scheduler::EstimatedJobMicros() const {
   std::lock_guard<std::mutex> lock(mu_);
   return job_ema_us_;

@@ -98,6 +98,9 @@ class Scheduler {
   void Shutdown();
 
   size_t QueueDepth() const;
+  /// \brief Jobs dequeued by a worker and not yet finished. With
+  /// QueueDepth this is the load snapshot the `health` op reports.
+  size_t InFlight() const;
   size_t num_workers() const { return workers_.size(); }
 
   /// \brief EMA of recent job run durations in microseconds (0 until the

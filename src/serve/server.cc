@@ -130,11 +130,15 @@ void Server::SubmitLine(const std::string& line,
   }
   if (op == "health") {
     // Liveness probe: answered inline, never queued, so scheduler
-    // saturation cannot starve it. Reports the lifecycle phase for load
-    // balancers (see the class comment).
+    // saturation cannot starve it. Reports the lifecycle phase plus a
+    // load snapshot for load balancers and the shard router's membership
+    // probe (see the class comment).
     responses_ok_->Increment();
-    done(ResponseLine(id, "ok", "health",
-                      draining() ? "draining" : "live"));
+    done("{\"id\":" + std::to_string(id) + ",\"status\":\"ok\"" +
+         ",\"health\":" + (draining() ? "\"draining\"" : "\"live\"") +
+         ",\"queue_depth\":" + std::to_string(scheduler_.QueueDepth()) +
+         ",\"in_flight\":" + std::to_string(scheduler_.InFlight()) +
+         ",\"workers\":" + std::to_string(scheduler_.num_workers()) + "}");
     return;
   }
   if (op == "metrics") {

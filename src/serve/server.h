@@ -13,6 +13,7 @@
 #include "ir/plan_cache.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/backend.h"
 #include "serve/engine.h"
 #include "serve/result_cache.h"
 #include "serve/scheduler.h"
@@ -87,12 +88,15 @@ struct ServerConfig {
 /// `health` is the liveness probe: like `stats` it is answered inline on
 /// the caller's thread, without queueing through the scheduler — a
 /// saturated (or deliberately backpressured) worker pool cannot make the
-/// probe time out. The body reports the lifecycle phase so a load
-/// balancer can stop routing to a draining process before its socket
-/// actually closes:
+/// probe time out. The body reports the lifecycle phase plus a small load
+/// snapshot, so a load balancer (or the shard router's membership probe)
+/// can stop routing to a draining process before its socket actually
+/// closes and can see how loaded each live backend is:
 ///
-///   {"id":7,"status":"ok","health":"live"}
-///   {"id":7,"status":"ok","health":"draining"}
+///   {"id":7,"status":"ok","health":"live","queue_depth":3,
+///    "in_flight":4,"workers":4}
+///   {"id":7,"status":"ok","health":"draining","queue_depth":0,
+///    "in_flight":1,"workers":4}
 ///
 /// The phase flips via set_draining(true) — the TCP front end
 /// (net::Server) does this the moment a graceful shutdown begins.
@@ -123,11 +127,11 @@ struct ServerConfig {
 ///   - each degradable dependency sits behind a circuit breaker, so a
 ///     dependency that keeps faulting is skipped outright for a cooldown
 ///     instead of being probed on every request.
-class Server {
+class Server : public LineBackend {
  public:
   /// \param engine not owned; must outlive the server.
   Server(const InferenceEngine* engine, ServerConfig config);
-  ~Server();
+  ~Server() override;
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
@@ -137,24 +141,24 @@ class Server {
   /// thread for cache hits, parse errors, rejects, and admin ops; on a
   /// worker thread otherwise.
   void SubmitLine(const std::string& line,
-                  std::function<void(std::string)> done);
+                  std::function<void(std::string)> done) override;
 
   /// \brief Synchronous convenience wrapper (used by tests/examples):
   /// blocks until the response for this one request is ready.
   std::string HandleLine(const std::string& line);
 
   /// \brief Blocks until all submitted requests have completed.
-  void Drain();
+  void Drain() override;
 
   /// \brief Flips the phase reported by the `health` op ("live" vs
   /// "draining"). Thread-safe; set by the serving front end when graceful
   /// shutdown begins. Draining does not reject work by itself — it only
   /// tells probes to steer new traffic away while in-flight requests
   /// finish.
-  void set_draining(bool draining) {
+  void set_draining(bool draining) override {
     draining_.store(draining, std::memory_order_relaxed);
   }
-  bool draining() const {
+  bool draining() const override {
     return draining_.load(std::memory_order_relaxed);
   }
 

@@ -9,8 +9,11 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <pthread.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include <csignal>
 
 #include <atomic>
 #include <condition_variable>
@@ -293,7 +296,11 @@ TEST_F(LoopbackTest, HealthOpAnswersLiveOverTcp) {
   Client client = MustConnect();
   auto response = client.Call("{\"id\":1,\"op\":\"health\"}");
   ASSERT_TRUE(response.ok()) << response.status().ToString();
-  EXPECT_EQ(*response, "{\"id\":1,\"status\":\"ok\",\"health\":\"live\"}");
+  EXPECT_EQ(
+      response->rfind("{\"id\":1,\"status\":\"ok\",\"health\":\"live\"", 0), 0u)
+      << *response;
+  EXPECT_NE(response->find("\"queue_depth\":"), std::string::npos)
+      << *response;
 }
 
 TEST_F(LoopbackTest, PipelinedResponsesKeepRequestOrder) {
@@ -378,14 +385,19 @@ TEST_F(LoopbackTest, TcpResponsesAreByteIdenticalToStdioMode) {
   obs::MetricsRegistry stdio_metrics;
   serve::ServerConfig stdio_config;
   stdio_config.metrics = &stdio_metrics;
-  stdio_config.scheduler.num_workers = 1;
+  // Health reports the instance's real worker count, so the comparison
+  // instance must match the TCP server's configuration exactly.
+  stdio_config.scheduler.num_workers = 4;
   serve::Server stdio(&SharedEngine(), stdio_config);
 
   std::vector<std::string> requests = {
       VerifyRequest(1, "The gold of the row whose nation is japan is 5."),
       VerifyRequest(2, "The total of the row whose nation is china is 99."),
       "{\"id\":3,\"op\":\"ping\"}",
-      "{\"id\":4,\"op\":\"health\"}",
+      // health is deliberately absent: it now reports a live load
+      // snapshot (queue depth / in-flight), which legitimately differs
+      // between two instances at different moments. Its transport
+      // behavior is covered by HealthOpAnswersLiveOverTcp.
       "not json at all",
       "{\"id\":5,\"op\":\"fly\"}",
       VerifyRequest(1, "The gold of the row whose nation is japan is 5."),
@@ -676,6 +688,125 @@ TEST_F(LoopbackTest, ReadFaultClosesOnlyTheStruckConnection) {
   fault::FaultInjector::Global().Disarm();
   Client fresh = MustConnect();
   EXPECT_TRUE(fresh.Call("{\"id\":3,\"op\":\"ping\"}").ok());
+}
+
+// ------------------------------------------- client timeout regressions
+
+/// A raw loopback listener that accepts connections but never writes —
+/// the stall shape RecvTimeout exists for.
+int MakeSilentListener(uint16_t* port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  EXPECT_EQ(::listen(fd, 4), 0);
+  socklen_t len = sizeof(addr);
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  *port = ntohs(addr.sin_port);
+  return fd;
+}
+
+extern "C" void NoopSignalHandler(int) {}
+
+TEST(ClientTimeoutTest, RecvTimeoutHoldsUnderSignalStorm) {
+  // Regression: RecvTimeout recomputed its remaining budget by clamping
+  // a negative `left` to 0 and polling again; once the deadline passed, a
+  // stream of signals (each EINTR-ing the zero-timeout poll) could keep
+  // the loop spinning forever. The deadline must bound the call no matter
+  // how often signals land.
+  uint16_t port = 0;
+  int listener = MakeSilentListener(&port);
+  auto client = Client::Connect("127.0.0.1", port);
+  ASSERT_TRUE(client.ok());
+
+  struct sigaction action = {};
+  struct sigaction saved = {};
+  action.sa_handler = NoopSignalHandler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // deliberately no SA_RESTART — poll sees EINTR
+  ASSERT_EQ(sigaction(SIGUSR1, &action, &saved), 0);
+
+  std::atomic<bool> storming{true};
+  pthread_t target = pthread_self();
+  std::thread storm([&] {
+    while (storming.load()) {
+      pthread_kill(target, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  auto started = std::chrono::steady_clock::now();
+  auto response = client->RecvTimeout(150);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - started)
+                     .count();
+  storming.store(false);
+  storm.join();
+  sigaction(SIGUSR1, &saved, nullptr);
+  ::close(listener);
+
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded)
+      << response.status().ToString();
+  EXPECT_LT(elapsed, 2000) << "signal storm must not extend the timeout";
+}
+
+TEST(ClientTimeoutTest, RecvTimeoutNotExtendedByTrickledPartialFrame) {
+  // Regression: a peer feeding one byte per wakeup kept poll() readable
+  // on every iteration, and each read reset the loop without ever
+  // checking the deadline — the effective timeout was "as long as bytes
+  // keep arriving". Partial-frame progress must not extend the budget.
+  uint16_t port = 0;
+  int listener = MakeSilentListener(&port);
+  auto client = Client::Connect("127.0.0.1", port);
+  ASSERT_TRUE(client.ok());
+  int conn = ::accept(listener, nullptr, nullptr);
+  ASSERT_GE(conn, 0);
+
+  std::atomic<bool> trickling{true};
+  std::thread trickler([&] {
+    // A valid header declaring a 1 MiB payload, then payload bytes one
+    // at a time, fast enough that the fd is readable on nearly every
+    // poll.
+    const char header[4] = {0, 0x10, 0, 0};
+    (void)::send(conn, header, sizeof(header), MSG_NOSIGNAL);
+    while (trickling.load()) {
+      (void)::send(conn, "x", 1, MSG_NOSIGNAL);
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+
+  auto started = std::chrono::steady_clock::now();
+  auto response = client->RecvTimeout(200);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - started)
+                     .count();
+  trickling.store(false);
+  trickler.join();
+  ::close(conn);
+  ::close(listener);
+
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded)
+      << response.status().ToString();
+  EXPECT_LT(elapsed, 1500) << "trickled bytes must not extend the timeout";
+}
+
+TEST(FrameTest, EncodeRejectsPayloadsBeyondHeaderWidth) {
+  // A payload whose size cannot fit the 4-byte length header must be
+  // rejected even when max_frame_bytes allows it — truncating size_t
+  // into the u32 header would silently frame the first (size mod 2^32)
+  // bytes. The string_view below fabricates the size without backing
+  // memory; EncodeFrame must reject on size alone, before touching data.
+  char byte = 'x';
+  std::string_view huge(&byte, static_cast<size_t>(UINT32_MAX) + 2);
+  auto frame = EncodeFrame(huge, SIZE_MAX);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_NE(frame.status().ToString().find("32-bit"), std::string::npos)
+      << frame.status().ToString();
 }
 
 }  // namespace

@@ -431,15 +431,23 @@ TEST(ServerTest, HealthOpReportsLiveThenDraining) {
   Server server(&SharedEngine(), config);
   // Liveness must answer inline — it never queues through the scheduler,
   // so it works even when every worker is wedged.
-  EXPECT_EQ(server.HandleLine("{\"id\":7,\"op\":\"health\"}"),
-            "{\"id\":7,\"status\":\"ok\",\"health\":\"live\"}");
+  // The enriched health line carries a load snapshot after the phase;
+  // the prefix (id, status, phase) stays the contract probers match on.
+  EXPECT_EQ(server.HandleLine("{\"id\":7,\"op\":\"health\"}")
+                .rfind("{\"id\":7,\"status\":\"ok\",\"health\":\"live\"", 0),
+            0u);
   server.set_draining(true);
   EXPECT_TRUE(server.draining());
-  EXPECT_EQ(server.HandleLine("{\"id\":8,\"op\":\"health\"}"),
-            "{\"id\":8,\"status\":\"ok\",\"health\":\"draining\"}");
+  EXPECT_EQ(server.HandleLine("{\"id\":8,\"op\":\"health\"}")
+                .rfind("{\"id\":8,\"status\":\"ok\",\"health\":\"draining\"",
+                       0),
+            0u);
   server.set_draining(false);
-  EXPECT_EQ(server.HandleLine("{\"id\":9,\"op\":\"health\"}"),
-            "{\"id\":9,\"status\":\"ok\",\"health\":\"live\"}");
+  std::string live = server.HandleLine("{\"id\":9,\"op\":\"health\"}");
+  EXPECT_EQ(live.rfind("{\"id\":9,\"status\":\"ok\",\"health\":\"live\"", 0), 0u);
+  EXPECT_NE(live.find("\"queue_depth\":"), std::string::npos) << live;
+  EXPECT_NE(live.find("\"in_flight\":"), std::string::npos) << live;
+  EXPECT_NE(live.find("\"workers\":"), std::string::npos) << live;
 }
 
 TEST(ServerTest, StatsOpReturnsPopulatedJson) {
