@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Table-store benchmark -> BENCH_store.json
+#
+# Default: the zero-parse serving comparison (bench_serving --store): on a
+# 1,000-row fixture, inline-CSV requests pay table parse + index warm per
+# request while table_ref requests resolve from the content-addressed
+# registry; the speedup gate (>= 10x evidence-cost reduction,
+# byte-identical responses) is enforced by the bench binary itself.
+#
+# --durable: additionally measures the cost of the durability ack
+# contract — put_table round-trip latency (registry histogram p50/p99)
+# through uctr_serve --store-dir under each fsync mode:
+#
+#   always    fsync per append: the ack survives power loss. Pays one
+#             device flush per put; the upper bound.
+#   interval  fsync at most once per 50 ms: the ack survives kill -9,
+#             up to one interval is exposed to power loss. The default.
+#   never     no hot-path fsync: same kill -9 guarantee, everything
+#             since boot exposed to power loss. The floor (WAL append
+#             into page cache only).
+#
+# The three runs land in a "durable" section appended to BENCH_store.json
+# so the fsync tax is tracked next to the zero-parse numbers it guards.
+# Recorded, not gated: absolute fsync cost is hardware, not regression.
+#
+# Usage:
+#   scripts/bench_store.sh             # zero-parse bench only
+#   scripts/bench_store.sh --durable   # + fsync mode matrix
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc)}"
+# Puts measured per mode = CONNECTIONS * TABLES (each connection registers
+# every fixture variant once, synchronously, one round-trip each).
+CONNECTIONS=2
+TABLES=64
+REQUESTS=64
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" -j "$JOBS" \
+  --target bench_serving uctr_serve_bin uctr_load >/dev/null
+
+./"$BUILD_DIR"/bench/bench_serving --store
+
+if [[ "${1:-}" != --durable ]]; then
+  cat BENCH_store.json
+  exit 0
+fi
+
+TMP=$(mktemp -d)
+declare -a PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+scrape_port() {  # scrape_port ERRLOG
+  local errlog="$1" port=""
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+      "$errlog" | head -n1)
+    [[ -n "$port" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$port" ]]; then
+    echo "bench_store: uctr_serve never announced its port" >&2
+    cat "$errlog" >&2
+    exit 1
+  fi
+  echo "$port"
+}
+
+declare -A P50 P99 COUNT
+for mode in always interval never; do
+  echo "bench_store: measuring put_table under --store-fsync $mode..." >&2
+  store_dir="$TMP/store_$mode"
+  errlog="$TMP/serve_$mode.err"
+  ./"$BUILD_DIR"/src/serve/uctr_serve serve --workers 4 \
+    --listen 127.0.0.1:0 --store-dir "$store_dir" \
+    --store-fsync "$mode" 2>"$errlog" &
+  serve_pid=$!
+  PIDS+=("$serve_pid")
+  port=$(scrape_port "$errlog")
+  report="$TMP/load_$mode.json"
+  ./"$BUILD_DIR"/src/net/uctr_load --connect "127.0.0.1:$port" \
+    --connections "$CONNECTIONS" --requests "$REQUESTS" --pipeline 2 \
+    --tables "$TABLES" --put-table --report-json "$report" >/dev/null
+  kill -TERM "$serve_pid"
+  wait "$serve_pid"
+  line=$(grep '"registry_us"' "$report")
+  COUNT[$mode]=$(echo "$line" | sed -n 's/.*"count": \([0-9]*\).*/\1/p')
+  P50[$mode]=$(echo "$line" | sed -n 's/.*"p50": \([0-9.]*\).*/\1/p')
+  P99[$mode]=$(echo "$line" | sed -n 's/.*"p99": \([0-9.]*\).*/\1/p')
+  echo "bench_store: $mode: ${COUNT[$mode]} puts," \
+    "p50 ${P50[$mode]} us, p99 ${P99[$mode]} us" >&2
+done
+
+# Append the durable section to the bench JSON (keep every existing
+# field; "pass" stays the zero-parse gate's verdict).
+{
+  head -n -1 BENCH_store.json | sed '$ s/$/,/'
+  cat <<EOF
+  "durable": {
+    "puts_per_mode": ${COUNT[interval]},
+    "fsync_always": {"put_p50_us": ${P50[always]}, "put_p99_us": ${P99[always]}},
+    "fsync_interval": {"put_p50_us": ${P50[interval]}, "put_p99_us": ${P99[interval]}},
+    "fsync_never": {"put_p50_us": ${P50[never]}, "put_p99_us": ${P99[never]}}
+  }
+}
+EOF
+} > "$TMP/bench_store_merged.json"
+mv "$TMP/bench_store_merged.json" BENCH_store.json
+cat BENCH_store.json

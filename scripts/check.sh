@@ -20,6 +20,13 @@
 #   scripts/check.sh store                  # store_test + a put_table/
 #                                           # table_ref loopback soak
 #                                           # (uctr_load --put-table)
+#   scripts/check.sh durability             # durable_test + a crash drill
+#                                           # (kill -9 uctr_serve mid-load,
+#                                           # restart on the same
+#                                           # --store-dir, acked tables
+#                                           # must serve again) + a router
+#                                           # kill/rejoin drill with
+#                                           # --put-replicas 2
 #   scripts/check.sh router                 # router_test + a sharded soak
 #                                           # (uctr_load through uctr_router
 #                                           # over 2 uctr_serve backends,
@@ -186,6 +193,188 @@ if [[ "${1:-}" == store ]]; then
   fi
   rm -f "$errlog"
   echo "store ($SANITIZE) check passed"
+  exit 0
+fi
+if [[ "${1:-}" == durability ]]; then
+  # Durability mode: the WAL/recovery suite under the sanitizer, then two
+  # drills of the real binaries.
+  #
+  # Drill 1 — crash recovery: uctr_serve --store-dir, a completed
+  # put_table round (those acks are the pin), then kill -9 mid-load. The
+  # restart on the same directory must announce the recovered tables, and
+  # a fresh --put-table run must be failure-free: re-registration dedups
+  # against the recovered store (content-addressed, so the fingerprints
+  # prove byte-identity) and every table_ref resolves without degrading.
+  #
+  # Drill 2 — replicated serving: two durable backends behind uctr_router
+  # --put-replicas 2. Kill -9 one backend mid-traffic (the load must stay
+  # clean: zero lost, zero reordered), restart it on the same port (it
+  # recovers from its own store), let the probe rejoin it, and load again.
+  # The router must drain to exit 0 with its replication counters
+  # exported. (Read-repair convergence itself is pinned deterministically
+  # in router_test — this drill exercises the same path against real
+  # processes and sockets.)
+  ./tests/durable_test
+
+  scrape_port() {  # scrape_port ERRLOG NAME
+    local errlog="$1" name="$2" port=""
+    for _ in $(seq 1 100); do
+      port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+        "$errlog" | head -n1)
+      [[ -n "$port" ]] && break
+      sleep 0.1
+    done
+    if [[ -z "$port" ]]; then
+      echo "durability: $name never announced its port" >&2
+      cat "$errlog" >&2
+      exit 1
+    fi
+    echo "$port"
+  }
+
+  # ----------------------------------------------- drill 1: kill -9
+  store_dir=$(mktemp -d)
+  errlog=$(mktemp)
+  ./src/serve/uctr_serve serve --workers 4 --listen 127.0.0.1:0 \
+    --store-dir "$store_dir" --store-fsync interval 2>"$errlog" &
+  serve_pid=$!
+  port=$(scrape_port "$errlog" uctr_serve)
+  # Phase 1: a registration round that completes — these acks must
+  # survive the crash.
+  if ! ./src/net/uctr_load --connect "127.0.0.1:$port" \
+      --connections 4 --requests 160 --pipeline 4 --tables 8 --put-table; then
+    echo "durability: pre-crash put_table load failed" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+  fi
+  # Phase 2: kill -9 mid-load. The load is expected to fail — the point
+  # is that the server dies without any chance to flush or say goodbye.
+  ./src/net/uctr_load --connect "127.0.0.1:$port" \
+    --connections 4 --requests 4000 --pipeline 4 --tables 8 --put-table \
+    >/dev/null 2>&1 &
+  load_pid=$!
+  sleep 0.3
+  kill -KILL "$serve_pid"
+  wait "$serve_pid" 2>/dev/null || true
+  wait "$load_pid" 2>/dev/null || true
+  # Phase 3: restart on the same directory; recovery must be announced.
+  errlog2=$(mktemp)
+  ./src/serve/uctr_serve serve --workers 4 --listen 127.0.0.1:0 \
+    --store-dir "$store_dir" --store-fsync interval 2>"$errlog2" &
+  serve_pid=$!
+  port=$(scrape_port "$errlog2" "restarted uctr_serve")
+  recovered=$(sed -n 's/.*recovered \([0-9]*\) table(s).*/\1/p' \
+    "$errlog2" | head -n1)
+  if [[ -z "$recovered" || "$recovered" -lt 8 ]]; then
+    echo "durability: restart recovered '${recovered:-nothing}'," \
+      "expected >= 8 tables" >&2
+    cat "$errlog2" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+  fi
+  # Phase 4: every acked table serves again. The re-registration returns
+  # the same content fingerprints (dedup against the recovered store) and
+  # the ref traffic must be loss-free.
+  if ! ./src/net/uctr_load --connect "127.0.0.1:$port" \
+      --connections 4 --requests 320 --pipeline 4 --tables 8 --put-table; then
+    echo "durability: post-recovery table_ref load failed" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+  fi
+  kill -TERM "$serve_pid"
+  serve_rc=0
+  wait "$serve_pid" || serve_rc=$?
+  if [[ "$serve_rc" -ne 0 ]]; then
+    echo "durability: recovered uctr_serve exited $serve_rc after SIGTERM" >&2
+    cat "$errlog2" >&2
+    exit 1
+  fi
+  rm -rf "$store_dir" "$errlog" "$errlog2"
+  echo "durability drill 1 (kill -9 + recovery) passed"
+
+  # ------------------------------------- drill 2: router kill/rejoin
+  d1=$(mktemp -d); d2=$(mktemp -d)
+  b1_log=$(mktemp); b2_log=$(mktemp); r_log=$(mktemp)
+  ./src/serve/uctr_serve serve --workers 4 --listen 127.0.0.1:0 \
+    --store-dir "$d1" --store-fsync interval 2>"$b1_log" &
+  b1_pid=$!
+  ./src/serve/uctr_serve serve --workers 4 --listen 127.0.0.1:0 \
+    --store-dir "$d2" --store-fsync interval 2>"$b2_log" &
+  b2_pid=$!
+  b1_port=$(scrape_port "$b1_log" "backend 1")
+  b2_port=$(scrape_port "$b2_log" "backend 2")
+  ./src/net/uctr_router --listen 127.0.0.1:0 \
+    --backends "127.0.0.1:$b1_port,127.0.0.1:$b2_port" \
+    --workers 16 --put-replicas 2 --probe-interval-ms 100 --metrics \
+    2>"$r_log" &
+  r_pid=$!
+  r_port=$(scrape_port "$r_log" router)
+  load() {
+    ./src/net/uctr_load --router "127.0.0.1:$r_port" \
+      --connections 8 --requests 480 --pipeline 4 --tables 8 --put-table
+  }
+  if ! load; then
+    echo "durability: router baseline load failed" >&2
+    kill "$r_pid" "$b1_pid" "$b2_pid" 2>/dev/null || true
+    exit 1
+  fi
+  kill -KILL "$b1_pid"
+  wait "$b1_pid" 2>/dev/null || true
+  sleep 0.5  # probes notice the corpse
+  if ! load; then
+    echo "durability: load lost responses while a backend was down" >&2
+    kill "$r_pid" "$b2_pid" 2>/dev/null || true
+    exit 1
+  fi
+  # Restart the killed backend on the SAME port and store dir: it must
+  # recover its replicated tables itself and rejoin the ring.
+  b1_log2=$(mktemp)
+  ./src/serve/uctr_serve serve --workers 4 --listen "127.0.0.1:$b1_port" \
+    --store-dir "$d1" --store-fsync interval 2>"$b1_log2" &
+  b1_pid=$!
+  scrape_port "$b1_log2" "restarted backend 1" >/dev/null
+  if ! grep -q 'recovered [1-9][0-9]* table' "$b1_log2"; then
+    echo "durability: restarted backend recovered no tables" >&2
+    cat "$b1_log2" >&2
+    kill "$r_pid" "$b1_pid" "$b2_pid" 2>/dev/null || true
+    exit 1
+  fi
+  sleep 0.5  # probes readmit it
+  if ! load; then
+    echo "durability: load failed after the backend rejoined" >&2
+    kill "$r_pid" "$b1_pid" "$b2_pid" 2>/dev/null || true
+    exit 1
+  fi
+  kill -TERM "$r_pid"
+  r_rc=0
+  wait "$r_pid" || r_rc=$?
+  if [[ "$r_rc" -ne 0 ]]; then
+    echo "durability: uctr_router exited $r_rc after SIGTERM" >&2
+    cat "$r_log" >&2
+    exit 1
+  fi
+  replicas=$(sed -n 's/^router_put_replica_total \([0-9]*\)$/\1/p' \
+    "$r_log" | head -n1)
+  if [[ -z "$replicas" || "$replicas" -lt 1 ]]; then
+    echo "durability: router exported no replicated puts" \
+      "(router_put_replica_total='${replicas:-missing}')" >&2
+    cat "$r_log" >&2
+    kill "$b1_pid" "$b2_pid" 2>/dev/null || true
+    exit 1
+  fi
+  if ! grep -q '^router_read_repair_total ' "$r_log"; then
+    echo "durability: router metrics missing router_read_repair_total" >&2
+    kill "$b1_pid" "$b2_pid" 2>/dev/null || true
+    exit 1
+  fi
+  kill -TERM "$b1_pid" "$b2_pid"
+  wait "$b1_pid" "$b2_pid" || {
+    echo "durability: a backend exited nonzero after SIGTERM" >&2
+    exit 1
+  }
+  rm -rf "$d1" "$d2" "$b1_log" "$b2_log" "$b1_log2" "$r_log"
+  echo "durability drill 2 (router kill/rejoin) passed"
+  echo "durability ($SANITIZE) check passed"
   exit 0
 fi
 if [[ "${1:-}" == router ]]; then

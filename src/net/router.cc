@@ -133,6 +133,7 @@ Router::Router(RouterConfig config)
   config_.workers = std::max<size_t>(config_.workers, 1);
   config_.queue_capacity = std::max<size_t>(config_.queue_capacity, 1);
   config_.replicas = std::max<size_t>(config_.replicas, 1);
+  config_.put_replicas = std::max<size_t>(config_.put_replicas, 1);
   for (const HostPort& ep : config_.backends) {
     backends_.push_back(
         std::make_unique<BackendState>(ep, config_.breaker, metrics_));
@@ -147,6 +148,12 @@ Router::Router(RouterConfig config)
   hedge_wins_total_ = metrics_->counter("router_hedge_wins_total");
   ref_miss_failover_total_ =
       metrics_->counter("router_ref_miss_failover_total");
+  put_replica_total_ = metrics_->counter("router_put_replica_total");
+  put_replica_failures_total_ =
+      metrics_->counter("router_put_replica_failures_total");
+  read_repair_total_ = metrics_->counter("router_read_repair_total");
+  read_repair_failures_total_ =
+      metrics_->counter("router_read_repair_failures_total");
   backend_removed_total_ = metrics_->counter("router_backend_removed_total");
   backend_rejoined_total_ =
       metrics_->counter("router_backend_rejoined_total");
@@ -230,6 +237,14 @@ Router::RouteInfo Router::AnalyzeRequest(const std::string& line) const {
       // Inline table: affinity only needs consistency, so the raw CSV
       // text is key enough — same text, same shard, warm caches.
       info.key = std::move(*csv);
+    }
+  } else if (info.op == "put_table") {
+    // Codec-bytes registration (the read-repair delivery format): route
+    // by the bytes' content fingerprint, derived on a worker.
+    std::string hex = json::GetStringOr(obj, "table_hex", "");
+    if (!hex.empty()) {
+      info.key = std::move(hex);
+      info.key_is_put_hex = true;
     }
   }
   return info;
@@ -360,6 +375,13 @@ void Router::HandleJob(Job job) {
     // Unparseable CSV keeps the raw text as key; the shard will produce
     // the canonical parse error.
   }
+  if (info.key_is_put_hex) {
+    // table_hex already wraps canonical codec bytes; their fingerprint
+    // is the registration's content address.
+    auto bytes = store::Codec::FromHex(info.key);
+    if (bytes.ok()) info.key = store::Codec::Fingerprint(*bytes);
+    // Undecodable hex keeps the raw text as key; the shard answers.
+  }
 
   bool hot = !info.key.empty() && config_.replicas > 1 &&
              NoteKeyIsHot(info.key);
@@ -369,6 +391,8 @@ void Router::HandleJob(Job job) {
   size_t attempt = 0;
   std::string response;
   std::string ref_miss_response;
+  BackendState* served_by = nullptr;
+  std::vector<BackendState*> ref_missed;
   Status final_status = retry_.Run("router.forward", [&]() -> Status {
     // Eligibility is evaluated per attempt, not once per request: the
     // probe may flip membership while we back off, and that is the
@@ -399,6 +423,13 @@ void Router::HandleJob(Job job) {
     if (!s.ok()) return s;
     if (info.ref_only && IsRefMissResponse(response)) {
       ref_miss_failover_total_->Increment();
+      // Remember who missed: if a sibling ends up serving this ref, the
+      // missed backend lost its registry (restart) and gets the table
+      // re-planted by read-repair below.
+      if (std::find(ref_missed.begin(), ref_missed.end(), primary) ==
+          ref_missed.end()) {
+        ref_missed.push_back(primary);
+      }
       // Keep the shard's own bytes as the answer of last resort: when no
       // sibling holds the table either, the client sees exactly what a
       // direct backend would have said.
@@ -407,6 +438,7 @@ void Router::HandleJob(Job job) {
       return Status::Unavailable("table_ref not registered at " +
                                  primary->label);
     }
+    served_by = primary;
     return Status::OK();
   });
 
@@ -415,7 +447,20 @@ void Router::HandleJob(Job job) {
                            .count());
   if (final_status.ok()) {
     forwarded_total_->Increment();
+    const bool acked_put =
+        info.op == "put_table" &&
+        response.find("\"status\":\"ok\"") != std::string::npos;
     job.done(std::move(response));
+    // Durability work happens after the client's ack is delivered — it
+    // adds round-trips the caller never waits on.
+    if (acked_put && config_.put_replicas > 1 && !info.key.empty()) {
+      ReplicatePut(job.line, served_by, prefer);
+    }
+    if (info.ref_only && !ref_missed.empty() && served_by != nullptr) {
+      // A sibling served a ref its ring owner missed: the owner (and any
+      // other missed sibling) restarted without this table. Re-plant it.
+      ReadRepair(info.key, served_by, ref_missed);
+    }
     return;
   }
   if (!ref_miss_response.empty()) {
@@ -430,6 +475,73 @@ void Router::HandleJob(Job job) {
   job.done(ErrorLine(info.id, status_word,
                      "router: all backends failed: " +
                          final_status.ToString()));
+}
+
+void Router::ReplicatePut(const std::string& line, BackendState* served_by,
+                          const std::vector<uint32_t>& prefer) {
+  size_t sent = 0;
+  for (uint32_t idx : prefer) {
+    if (sent + 1 >= config_.put_replicas) break;
+    BackendState* replica = backends_[idx].get();
+    if (replica == served_by) continue;
+    if (!replica->in_ring.load(std::memory_order_relaxed) ||
+        replica->peer_draining.load(std::memory_order_relaxed)) {
+      continue;
+    }
+    ++sent;
+    std::string response;
+    Status s = CallOne(replica, line, &response);
+    if (s.ok() &&
+        response.find("\"status\":\"ok\"") != std::string::npos) {
+      put_replica_total_->Increment();
+    } else {
+      // Best-effort by design: the owner's WAL already holds the table
+      // and the client is already acked; a dead replica just means this
+      // copy waits for read-repair instead.
+      put_replica_failures_total_->Increment();
+    }
+  }
+}
+
+void Router::ReadRepair(const std::string& key, BackendState* source,
+                        const std::vector<BackendState*>& targets) {
+  {
+    std::lock_guard<std::mutex> lock(repair_mu_);
+    if (!repairing_.insert(key).second) return;  // repair already running
+  }
+  std::string hex;
+  {
+    std::string response;
+    Status s = CallOne(
+        source, "{\"op\":\"get_table\",\"table_ref\":" + json::Quote(key) +
+                    "}",
+        &response);
+    if (s.ok()) {
+      auto parsed = json::Parse(response);
+      if (parsed.ok() && parsed->is_object()) {
+        hex = json::GetStringOr(parsed->as_object(), "table_hex", "");
+      }
+    }
+  }
+  if (hex.empty()) {
+    read_repair_failures_total_->Increment();
+  } else {
+    const std::string put_line =
+        "{\"op\":\"put_table\",\"table_hex\":" + json::Quote(hex) + "}";
+    for (BackendState* target : targets) {
+      std::string response;
+      Status s = CallOne(target, put_line, &response);
+      if (s.ok() &&
+          response.find("\"status\":\"ok\"") != std::string::npos) {
+        read_repair_total_->Increment();
+      } else {
+        read_repair_failures_total_->Increment();
+      }
+    }
+  }
+  // A failed repair unblocks the key so the next ref-miss retries it.
+  std::lock_guard<std::mutex> lock(repair_mu_);
+  repairing_.erase(key);
 }
 
 Result<Client> Router::CheckOut(BackendState* backend) {
@@ -705,7 +817,16 @@ std::string Router::StatsJson() const {
     depth = queue_.size();
   }
   out += "],\"queue_depth\":" + std::to_string(depth) +
-         ",\"workers\":" + std::to_string(config_.workers) + "}";
+         ",\"workers\":" + std::to_string(config_.workers) +
+         ",\"put_replicas\":" + std::to_string(config_.put_replicas) +
+         ",\"put_replica_total\":" +
+         std::to_string(put_replica_total_->value()) +
+         ",\"put_replica_failures_total\":" +
+         std::to_string(put_replica_failures_total_->value()) +
+         ",\"read_repair_total\":" +
+         std::to_string(read_repair_total_->value()) +
+         ",\"read_repair_failures_total\":" +
+         std::to_string(read_repair_failures_total_->value()) + "}";
   return out;
 }
 

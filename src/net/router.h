@@ -11,6 +11,7 @@
 #include <string_view>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -96,6 +97,14 @@ struct RouterConfig {
   size_t replicas = 1;
   uint64_t hot_threshold = 64;
   int hot_window_ms = 1000;
+
+  /// Durability fan-out for `put_table`: after the ring owner acks, the
+  /// same registration is forwarded to this many minus one ring
+  /// successors, so a table survives its owner's crash without waiting
+  /// for read-repair. The client ack rides on the owner's response alone;
+  /// replica failures are counted (`router_put_replica_failures_total`),
+  /// never fatal. 1 disables replication.
+  size_t put_replicas = 1;
 
   /// Membership probe: every `probe_interval_ms` each backend gets an
   /// in-band `{"op":"health"}` on a fresh connection. This many
@@ -209,6 +218,8 @@ class Router : public serve::LineBackend {
     bool key_is_put_csv = false;  ///< key holds CSV; fingerprint it in
                                   ///< the worker (puts are rare, the
                                   ///< event loop stays thin).
+    bool key_is_put_hex = false;  ///< key holds hex codec bytes; same
+                                  ///< deferred fingerprinting.
     bool ref_only = false;  ///< table_ref with no inline fallback.
   };
 
@@ -221,6 +232,17 @@ class Router : public serve::LineBackend {
   RouteInfo AnalyzeRequest(const std::string& line) const;
   void WorkerLoop();
   void HandleJob(Job job);
+  /// Forwards an acked put to the next put_replicas-1 ring successors
+  /// after `served_by` (best-effort; failures counted, not propagated).
+  void ReplicatePut(const std::string& line, BackendState* served_by,
+                    const std::vector<uint32_t>& prefer);
+  /// Re-plants `key` at the backends that answered "not registered" for
+  /// it: fetches the canonical codec bytes (`get_table`) from the sibling
+  /// that served the request, then `put_table` `table_hex` to each missed
+  /// backend. Runs on the forwarding worker after the client's response
+  /// is already delivered; in-flight repairs dedup by fingerprint.
+  void ReadRepair(const std::string& key, BackendState* source,
+                  const std::vector<BackendState*>& targets);
   /// One forwarding attempt against one backend (breaker-gated).
   Status CallOne(BackendState* backend, const std::string& line,
                  std::string* response);
@@ -260,6 +282,11 @@ class Router : public serve::LineBackend {
   std::unordered_map<uint64_t, uint64_t> hot_counts_;
   std::chrono::steady_clock::time_point hot_window_end_{};
 
+  /// Fingerprints with a read-repair already in flight (dedup: a storm of
+  /// ref-misses on one hot table must not fan out N repair round-trips).
+  std::mutex repair_mu_;
+  std::unordered_set<std::string> repairing_;
+
   obs::Counter* requests_total_;
   obs::Counter* forwarded_total_;
   obs::Counter* rejected_total_;
@@ -268,6 +295,10 @@ class Router : public serve::LineBackend {
   obs::Counter* hedged_total_;
   obs::Counter* hedge_wins_total_;
   obs::Counter* ref_miss_failover_total_;
+  obs::Counter* put_replica_total_;
+  obs::Counter* put_replica_failures_total_;
+  obs::Counter* read_repair_total_;
+  obs::Counter* read_repair_failures_total_;
   obs::Counter* backend_removed_total_;
   obs::Counter* backend_rejoined_total_;
   obs::Counter* conns_created_total_;

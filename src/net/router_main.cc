@@ -3,6 +3,7 @@
 //
 //   uctr_router --listen HOST:PORT --backends HOST:PORT[,HOST:PORT...]
 //               [--workers N] [--queue N] [--replicas N]
+//               [--put-replicas N]
 //               [--hot-threshold N] [--hot-window-ms N]
 //               [--probe-interval-ms N] [--probe-timeout-ms N]
 //               [--timeout-ms N] [--vnodes N]
@@ -164,6 +165,9 @@ int Run(const std::map<std::string, std::string>& flags) {
   router_config.queue_capacity = FlagSize(flags, "queue", 8192);
   router_config.vnodes = FlagSize(flags, "vnodes", 64);
   router_config.replicas = FlagSize(flags, "replicas", 1);
+  // Durability fan-out: each acked put_table also lands on N-1 ring
+  // successors (see router.h; replica failures are counted, not fatal).
+  router_config.put_replicas = FlagSize(flags, "put-replicas", 1);
   router_config.hot_threshold = FlagSize(flags, "hot-threshold", 64);
   router_config.hot_window_ms =
       static_cast<int>(FlagSize(flags, "hot-window-ms", 1000));

@@ -3,7 +3,8 @@
 //
 //   uctr_load --connect HOST:PORT [--connections N] [--requests N]
 //             [--qps Q] [--pipeline D] [--tables T] [--put-table]
-//             [--distinct-tables] [--op verify|answer|mixed]
+//             [--put-retries N] [--distinct-tables]
+//             [--op verify|answer|mixed]
 //             [--timeout-ms N] [--report-json FILE]
 //   uctr_load --router HOST:PORT[,HOST:PORT...] [same flags]
 //
@@ -42,7 +43,10 @@
 // request stream with `table_ref` instead of inline CSV. Registration
 // round-trips are reported as a separate "registry" latency histogram so
 // the steady-state transport percentiles are not polluted by the one-time
-// warm-up cost.
+// warm-up cost. Transient registration failures (dropped connection,
+// "rejected"/"timeout" backpressure) retry up to --put-retries attempts
+// with jittered backoff before the run counts a put failure — chaos
+// drills should measure serving, not one unlucky registration.
 //
 // --report-json FILE writes the same numbers the console report prints as
 // a single machine-readable JSON object, so soak scripts and CI can gate
@@ -64,6 +68,7 @@
 #include <vector>
 
 #include "common/json.h"
+#include "fault/policy.h"
 #include "net/client.h"
 #include "net/socket_util.h"
 #include "obs/metrics.h"
@@ -88,6 +93,12 @@ struct Options {
   std::string report_json;  // empty = console report only
   int timeout_ms = 30000;
   int connect_retries = 50;  // the soak starts server + load concurrently
+  /// Attempts per put_table registration (1 = no retries). Transient
+  /// failures — a dropped connection, a "rejected"/"timeout" response —
+  /// are retried with jittered backoff (fault::RetryPolicy) instead of
+  /// aborting the whole run, so chaos drills measure serving rather than
+  /// registration flakes. Permanent errors still abort immediately.
+  int put_retries = 5;
 };
 
 /// Shared tallies; workers add with relaxed atomics, main prints once.
@@ -164,15 +175,54 @@ std::string BuildRefRequest(uint64_t id, size_t variant,
          "united states?\"}";
 }
 
+Result<net::Client> ConnectWithRetry(const Options& options,
+                                     const net::HostPort& endpoint) {
+  Status last = Status::Unavailable("no attempt");
+  for (int attempt = 0; attempt <= options.connect_retries; ++attempt) {
+    auto client = net::Client::Connect(endpoint.host, endpoint.port);
+    if (client.ok()) return client;
+    last = client.status();
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  return last;
+}
+
 /// Registers every table variant over `client`, one synchronous
 /// `put_table` round-trip each (ids 1..tables), recording each round-trip
 /// in the registry histogram. Returns the fingerprints by variant, or an
 /// empty vector on any failure — after reporting WHAT failed on stderr:
 /// a put that silently dies here used to surface only as "put failures 1"
 /// with the server's actual error response discarded.
+///
+/// Transient failures retry up to --put-retries attempts with jittered
+/// backoff (fault::RetryPolicy): a dead connection is re-dialed in place
+/// (put_table is content-addressed, so re-sending after an ambiguous
+/// failure is idempotent), and "rejected"/"timeout" responses — pure
+/// backpressure — are re-sent. Responses that prove a real bug
+/// (unparseable, wrong id, "error") abort immediately.
 std::vector<std::string> RegisterTables(net::Client* client,
                                         const Options& options,
+                                        const net::HostPort& endpoint,
                                         Tally* tally) {
+  fault::RetryOptions retry_options;
+  retry_options.max_attempts = options.put_retries < 1 ? 1
+                                                       : options.put_retries;
+  retry_options.initial_backoff_ms = 50.0;
+  retry_options.max_backoff_ms = 1000.0;
+  retry_options.backoff_budget_ms = 5000.0;
+  // Seed folds in the endpoint port so concurrent connections decorrelate.
+  fault::RetryPolicy retry(retry_options,
+                           0x10ADull ^ (uint64_t{endpoint.port} << 16),
+                           nullptr);
+
+  // Transport failure mid-put leaves the connection in an unknown state;
+  // replace it before the retry (the old ids may still drain server-side,
+  // which is fine: responses are matched by id, not by count).
+  auto redial = [&]() {
+    auto fresh = ConnectWithRetry(options, endpoint);
+    if (fresh.ok()) *client = std::move(fresh).ValueOrDie();
+  };
+
   std::vector<std::string> fingerprints;
   fingerprints.reserve(options.tables);
   for (size_t variant = 0; variant < options.tables; ++variant) {
@@ -180,35 +230,49 @@ std::vector<std::string> RegisterTables(net::Client* client,
     std::string request = "{\"id\":" + std::to_string(id) +
                           ",\"op\":\"put_table\",\"table\":\"" +
                           EscapeForJson(MakeCsv(variant)) + "\"}";
-    Clock::time_point sent_at = Clock::now();
-    if (Status sent = client->Send(request); !sent.ok()) {
-      std::cerr << "uctr_load: put_table id " << id
-                << " send failed: " << sent.ToString() << "\n";
-      return {};
-    }
-    auto line = client->RecvTimeout(options.timeout_ms);
-    if (!line.ok()) {
-      std::cerr << "uctr_load: put_table id " << id
-                << " recv failed: " << line.status().ToString() << "\n";
-      return {};
-    }
-    tally->registry_us.Observe(
-        std::chrono::duration<double, std::micro>(Clock::now() - sent_at)
-            .count());
-    auto parsed = json::Parse(*line);
-    if (!parsed.ok() || !parsed->is_object()) {
-      std::cerr << "uctr_load: put_table id " << id
-                << " unparseable response: " << *line << "\n";
-      return {};
-    }
-    const json::Value::Object& obj = parsed->as_object();
-    uint64_t got_id = static_cast<uint64_t>(json::GetNumberOr(obj, "id", 0));
-    std::string fingerprint = json::GetStringOr(obj, "fingerprint", "");
-    if (got_id != id || fingerprint.empty()) {
-      // Print the response verbatim: it carries the server's own error
-      // ("rejected", a parse error, ...), which is the actionable part.
-      std::cerr << "uctr_load: put_table id " << id
-                << " failed, response: " << *line << "\n";
+    std::string fingerprint;
+    Status put = retry.Run("load.put_table", [&]() -> Status {
+      Clock::time_point sent_at = Clock::now();
+      if (Status sent = client->Send(request); !sent.ok()) {
+        redial();
+        return Status::Unavailable("send failed: " + sent.ToString());
+      }
+      auto line = client->RecvTimeout(options.timeout_ms);
+      if (!line.ok()) {
+        redial();
+        return Status::Unavailable("recv failed: " +
+                                   line.status().ToString());
+      }
+      tally->registry_us.Observe(
+          std::chrono::duration<double, std::micro>(Clock::now() - sent_at)
+              .count());
+      auto parsed = json::Parse(*line);
+      if (!parsed.ok() || !parsed->is_object()) {
+        return Status::Internal("unparseable response: " + *line);
+      }
+      const json::Value::Object& obj = parsed->as_object();
+      uint64_t got_id =
+          static_cast<uint64_t>(json::GetNumberOr(obj, "id", 0));
+      std::string status = json::GetStringOr(obj, "status", "");
+      if (status == "rejected" || status == "timeout") {
+        // Backpressure / queue shedding: transient by contract.
+        return Status::Unavailable("response: " + *line);
+      }
+      if (got_id != id || status != "ok") {
+        // The response carries the server's own error ("error", a parse
+        // failure, ...) — the actionable part; not retryable.
+        return Status::Internal("response: " + *line);
+      }
+      fingerprint = json::GetStringOr(obj, "fingerprint", "");
+      if (fingerprint.empty()) {
+        return Status::Internal("ok response without fingerprint: " + *line);
+      }
+      return Status::OK();
+    });
+    if (!put.ok()) {
+      std::cerr << "uctr_load: put_table id " << id << " failed after "
+                << retry_options.max_attempts
+                << " attempt(s): " << put.ToString() << "\n";
       return {};
     }
     fingerprints.push_back(std::move(fingerprint));
@@ -246,18 +310,6 @@ void ScoreResponse(const std::string& line, uint64_t expected_id,
   }
 }
 
-Result<net::Client> ConnectWithRetry(const Options& options,
-                                     const net::HostPort& endpoint) {
-  Status last = Status::Unavailable("no attempt");
-  for (int attempt = 0; attempt <= options.connect_retries; ++attempt) {
-    auto client = net::Client::Connect(endpoint.host, endpoint.port);
-    if (client.ok()) return client;
-    last = client.status();
-    std::this_thread::sleep_for(std::chrono::milliseconds(100));
-  }
-  return last;
-}
-
 bool WantVerify(const Options& options, uint64_t id) {
   if (options.op == "verify") return true;
   if (options.op == "answer") return false;
@@ -277,7 +329,8 @@ void RunConnection(const Options& options, size_t conn_index,
 
   std::vector<std::string> fingerprints;
   if (options.put_table) {
-    fingerprints = RegisterTables(&client.ValueOrDie(), options, tally);
+    fingerprints =
+        RegisterTables(&client.ValueOrDie(), options, endpoint, tally);
     if (fingerprints.size() != options.tables) {
       tally->put_failures.fetch_add(1, std::memory_order_relaxed);
       tally->lost.fetch_add(my_requests, std::memory_order_relaxed);
@@ -390,7 +443,8 @@ int main(int argc, char** argv) {
         "usage: uctr_load --connect HOST:PORT | "
         "--router HOST:PORT[,HOST:PORT...] [--connections N] "
         "[--requests N] [--qps Q] [--pipeline D] [--tables T] "
-        "[--put-table] [--distinct-tables] [--op verify|answer|mixed] "
+        "[--put-table] [--put-retries N] [--distinct-tables] "
+        "[--op verify|answer|mixed] "
         "[--timeout-ms N] [--report-json FILE]");
   }
   std::string endpoint_list = connect_it != flags.end() ? connect_it->second
@@ -424,6 +478,10 @@ int main(int argc, char** argv) {
   if (flags.count("op")) options.op = flags["op"];
   if (flags.count("report-json")) options.report_json = flags["report-json"];
   if (flags.count("timeout-ms")) options.timeout_ms = std::stoi(flags["timeout-ms"]);
+  if (flags.count("put-retries")) {
+    options.put_retries = std::stoi(flags["put-retries"]);
+    if (options.put_retries < 1) return Fail("--put-retries must be >= 1");
+  }
   if (options.connections == 0 || options.pipeline == 0 ||
       options.tables == 0) {
     return Fail("--connections, --pipeline, and --tables must be positive");

@@ -98,7 +98,21 @@ Server::Server(const InferenceEngine* engine, ServerConfig config)
           metrics_->counter("degraded_plan_fallback_total")),
       execute_us_(metrics_->histogram("latency_execute_us")),
       table_parse_us_(metrics_->histogram("latency_table_parse_us")),
-      index_warm_us_(metrics_->histogram("latency_index_warm_us")) {}
+      index_warm_us_(metrics_->histogram("latency_index_warm_us")) {
+  if (!config_.store_dir.empty()) {
+    store::DurableStoreConfig durable_config;
+    durable_config.dir = config_.store_dir;
+    durable_config.fsync = config_.store_fsync;
+    durable_config.fsync_interval_ms = config_.store_fsync_interval_ms;
+    durable_config.compact_wal_bytes = config_.store_compact_wal_bytes;
+    durable_config.metrics = metrics_;
+    durable_ =
+        std::make_unique<store::DurableStore>(&registry_, durable_config);
+    // Replay before the first request can arrive: the scheduler exists
+    // but nothing submits to it until the ctor returns.
+    recovery_status_ = durable_->Recover();
+  }
+}
 
 Server::~Server() { scheduler_.Shutdown(); }
 
@@ -154,12 +168,50 @@ void Server::SubmitLine(const std::string& line,
          ",\"status\":\"ok\",\"stats\":" + StatsJson() + "}");
     return;
   }
+  if (op == "get_table") {
+    // Returns a registered table's canonical codec bytes (hex) — the data
+    // path router read-repair rides on: the router fetches the bytes from
+    // a backend that serves the fingerprint and re-puts them (as
+    // `table_hex`) to the ring owner that lost them. Answered inline:
+    // the durable path is one index lookup + pread, the memory-only path
+    // one registry borrow + re-encode.
+    std::string ref = json::GetStringOr(obj, "table_ref", "");
+    if (ref.empty()) {
+      responses_error_->Increment();
+      done(ResponseLine(id, "error", "error",
+                        "get_table requires a table_ref fingerprint"));
+      return;
+    }
+    std::string bytes;
+    if (durable_ != nullptr && durable_->Contains(ref)) {
+      Result<std::string> read = durable_->GetEncodedBytes(ref);
+      if (read.ok()) bytes = std::move(read).ValueOrDie();
+    }
+    if (bytes.empty()) {
+      std::shared_ptr<const Table> shared = registry_.Get(ref);
+      if (shared != nullptr) {
+        bytes = store::TableRegistry::EncodeTable(*shared).bytes;
+      }
+    }
+    if (bytes.empty()) {
+      responses_error_->Increment();
+      done(ResponseLine(id, "error", "error",
+                        "table_ref '" + ref + "' is not registered"));
+      return;
+    }
+    responses_ok_->Increment();
+    done("{\"id\":" + std::to_string(id) +
+         ",\"status\":\"ok\",\"fingerprint\":" + json::Quote(ref) +
+         ",\"table_hex\":" + json::Quote(store::Codec::ToHex(bytes)) + "}");
+    return;
+  }
   if (op != "verify" && op != "answer" && op != "put_table") {
     responses_error_->Increment();
     done(ResponseLine(
         id, "error", "error",
         "unknown op '" + op +
-            "' (verify|answer|put_table|metrics|stats|ping|health)"));
+            "' (verify|answer|put_table|get_table|metrics|stats|ping|"
+            "health)"));
     return;
   }
 
@@ -211,6 +263,42 @@ void Server::SubmitLine(const std::string& line,
     // Registration parses + encodes + index-warms, so it rides through
     // the scheduler like inference does instead of stalling the caller
     // (which is the net front end's event-loop thread).
+    std::string table_hex = json::GetStringOr(obj, "table_hex", "");
+    if (!table_hex.empty()) {
+      // Codec-bytes delivery (router read-repair): no CSV parse; decode,
+      // validate, and register under the recomputed fingerprint. The
+      // same ack contract applies — durable servers append before
+      // answering.
+      job.run = [this, id, table_hex = std::move(table_hex), shared_done] {
+        if (config_.pre_execute_hook) config_.pre_execute_hook();
+        obs::Span put_span = tracer_->StartSpan("serve.put_table");
+        Status store_fault = UCTR_FAULT_POINT("serve.store_put");
+        Result<store::PutResult> put = store_fault;
+        if (store_fault.ok()) {
+          Result<std::string> bytes = store::Codec::FromHex(table_hex);
+          if (!bytes.ok()) {
+            put = bytes.status();
+          } else if (durable_ != nullptr) {
+            put = durable_->PutEncodedBytes(*bytes);
+          } else {
+            put = registry_.PutEncodedBytes(*bytes);
+          }
+        }
+        if (!put.ok()) {
+          responses_error_->Increment();
+          put_span.AddAttr("error", "store_put");
+          (*shared_done)(ResponseLine(id, "error", "error",
+                                      "store: " + put.status().ToString()));
+          return;
+        }
+        put_span.AddAttr("fingerprint", put->fingerprint);
+        responses_ok_->Increment();
+        (*shared_done)(
+            ResponseLine(id, "ok", "fingerprint", put->fingerprint));
+      };
+      submit(std::move(job));
+      return;
+    }
     if (!csv.ok()) {
       responses_error_->Increment();
       (*shared_done)(
@@ -250,7 +338,12 @@ void Server::SubmitLine(const std::string& line,
         return;
       }
       auto warm_started = Scheduler::Clock::now();
-      Result<store::PutResult> put = registry_.Put(std::move(*table));
+      // Durable servers log the table's codec bytes to the WAL before the
+      // registry insert — the ack below is not sent until the record is
+      // appended (fsynced per --store-fsync).
+      Result<store::PutResult> put =
+          durable_ != nullptr ? durable_->Put(std::move(*table))
+                              : registry_.Put(std::move(*table));
       // Put warms the stored table's index; account it where inline
       // requests account theirs so the amortization is visible.
       index_warm_us_->Observe(std::chrono::duration<double, std::micro>(
@@ -291,7 +384,13 @@ void Server::SubmitLine(const std::string& line,
   if (!table_ref.empty()) {
     auto resolve_started = Scheduler::Clock::now();
     Status get_fault = UCTR_FAULT_POINT("serve.store_get");
-    if (get_fault.ok()) shared = registry_.Get(table_ref);
+    // The durable path falls back to a disk reload when the LRU evicted
+    // the in-memory copy (store_evict_reload_total) — eviction of a
+    // durable table is a slow hit, never a miss.
+    if (get_fault.ok()) {
+      shared = durable_ != nullptr ? durable_->Get(table_ref)
+                                   : registry_.Get(table_ref);
+    }
     if (shared != nullptr) {
       // The borrowed table is pre-parsed and pre-warmed; feed the lookup
       // cost into the same histograms the inline path feeds so the two
@@ -567,6 +666,26 @@ std::string Server::StatsJson() const {
   out += ",\"store_evictions_total\":" + count("store_evictions_total");
   out += ",\"store_tables\":" + std::to_string(registry_.table_count());
   out += ",\"store_bytes\":" + std::to_string(registry_.bytes());
+  if (durable_ != nullptr) {
+    out += ",\"store_durable\":true";
+    out += ",\"store_fsync_mode\":\"" + std::string(durable_->fsync_mode()) +
+           "\"";
+    out += ",\"store_durable_tables\":" +
+           std::to_string(durable_->durable_tables());
+    out += ",\"store_wal_bytes\":" + std::to_string(durable_->wal_bytes());
+    out += ",\"store_recovered_tables_total\":" +
+           count("store_recovered_tables_total");
+    out += ",\"store_durable_puts_total\":" +
+           count("store_durable_puts_total");
+    out += ",\"store_evict_reload_total\":" +
+           count("store_evict_reload_total");
+    out += ",\"store_snapshot_compactions_total\":" +
+           count("store_snapshot_compactions_total");
+    out += ",\"store_wal_corrupt_records_total\":" +
+           count("store_wal_corrupt_records_total");
+  } else {
+    out += ",\"store_durable\":false";
+  }
   out += ",\"queue_depth\":" + std::to_string(scheduler_.QueueDepth());
   out += ",\"workers\":" + std::to_string(scheduler_.num_workers());
   Histogram* execute = metrics_->histogram("latency_execute_us");

@@ -17,6 +17,7 @@
 #include "serve/engine.h"
 #include "serve/result_cache.h"
 #include "serve/scheduler.h"
+#include "store/durable_registry.h"
 #include "store/registry.h"
 
 namespace uctr::serve {
@@ -62,6 +63,16 @@ struct ServerConfig {
   /// or AST. 0 disables the VM path entirely (always tree-walk).
   size_t plan_cache_capacity = 1024;
   size_t plan_cache_shards = 8;
+  /// Durability: when non-empty, the table registry persists to this
+  /// directory (store::DurableStore — WAL + snapshot). Startup replays
+  /// the directory before serving; `put_table` is acknowledged only after
+  /// its record is appended to the WAL; an LRU-evicted durable table
+  /// reloads from disk on the next `table_ref` instead of hard-missing.
+  /// Empty = the registry is memory-only (the pre-durability behavior).
+  std::string store_dir;
+  store::FsyncMode store_fsync = store::FsyncMode::kInterval;
+  int store_fsync_interval_ms = 50;
+  uint64_t store_compact_wal_bytes = 32ull << 20;
 };
 
 /// \brief The request/response front of the serving subsystem.
@@ -73,6 +84,8 @@ struct ServerConfig {
 ///   {"id":2,"op":"answer","table":"<csv>","query":"<question>"}
 ///   {"id":3,"op":"put_table","table":"<csv>"}
 ///   {"id":4,"op":"verify","table_ref":"<fingerprint>","query":"<claim>"}
+///   {"id":5,"op":"put_table","table_hex":"<canonical codec bytes, hex>"}
+///   {"id":6,"op":"get_table","table_ref":"<fingerprint>"}
 ///   {"op":"metrics"}   {"op":"stats"}   {"op":"ping"}   {"op":"health"}
 ///
 /// `put_table` parses the evidence once, registers it in the
@@ -168,6 +181,14 @@ class Server : public LineBackend {
   ResultCache* cache() { return &cache_; }
   Scheduler* scheduler() { return &scheduler_; }
   store::TableRegistry* registry() { return &registry_; }
+  /// Null when ServerConfig::store_dir is empty (memory-only registry).
+  store::DurableStore* durable_store() { return durable_.get(); }
+
+  /// \brief Outcome of the startup replay when store_dir is set (always
+  /// OK otherwise). A non-OK status means the store directory could not
+  /// be recovered; the embedding front end should refuse to serve rather
+  /// than run with durability silently disabled.
+  const Status& recovery_status() const { return recovery_status_; }
 
  private:
   /// \brief The in-band `stats` response body: a JSON object with the key
@@ -184,6 +205,12 @@ class Server : public LineBackend {
   /// registry dies, and borrowed tables outlive eviction via shared_ptr
   /// (see DESIGN.md, "Table registry ownership").
   store::TableRegistry registry_;
+  /// Durability layer over registry_ (null when store_dir is empty).
+  /// Declared after registry_ so it is destroyed first; the scheduler
+  /// (declared later, destroyed earlier still) quiesces the workers that
+  /// touch both.
+  std::unique_ptr<store::DurableStore> durable_;
+  Status recovery_status_;
   Scheduler scheduler_;
   fault::RetryPolicy retry_;
   fault::CircuitBreaker index_breaker_;

@@ -11,6 +11,8 @@
 //   uctr_serve serve [--verifier_weights F] [--qa_weights F]
 //                    [--workers N] [--queue N] [--cache N]
 //                    [--timeout_ms N] [--listen HOST:PORT]
+//                    [--store-dir DIR] [--store-fsync always|interval|never]
+//                    [--store-fsync-interval-ms N]
 //                    [--metrics] [--trace-out FILE]
 //       Reads one JSON request per stdin line, writes one JSON response
 //       per stdout line in input order. With --metrics, dumps the metrics
@@ -23,6 +25,13 @@
 //       port 0 binds an ephemeral port, and the resolved address is
 //       announced on stderr as "listening on HOST:PORT". SIGINT/SIGTERM
 //       drain exactly like stdio mode.
+//
+//       With --store-dir DIR the table registry is durable (see README.md
+//       "Durability"): startup replays DIR's snapshot + WAL (exit nonzero
+//       if the directory cannot be recovered), every put_table is
+//       acknowledged only after its record is appended to the WAL, and
+//       registry-evicted tables reload from disk on the next table_ref.
+//       --store-fsync picks the flush policy (default interval).
 //
 // Exit status: nonzero on bind/listen failure and whenever a flush write
 // (responses to stdout, metrics exposition, trace dump) fails — exit 0
@@ -288,7 +297,32 @@ int RunServe(const std::map<std::string, std::string>& flags) {
   server_config.cache_capacity = FlagSize(flags, "cache", 4096);
   server_config.default_timeout_ms =
       static_cast<int64_t>(FlagSize(flags, "timeout_ms", 0));
+  if (auto it = flags.find("store-dir"); it != flags.end()) {
+    if (it->second.empty()) {
+      return Fail("--store-dir requires a directory path");
+    }
+    server_config.store_dir = it->second;
+  }
+  if (auto it = flags.find("store-fsync"); it != flags.end()) {
+    auto mode = store::ParseFsyncMode(it->second);
+    if (!mode.ok()) return Fail(mode.status().ToString());
+    server_config.store_fsync = *mode;
+  }
+  server_config.store_fsync_interval_ms = static_cast<int>(
+      FlagSize(flags, "store-fsync-interval-ms",
+               static_cast<size_t>(server_config.store_fsync_interval_ms)));
   serve::Server server(&*engine, server_config);
+  if (!server.recovery_status().ok()) {
+    // Refuse to serve rather than run with durability silently broken.
+    return Fail("store recovery failed: " +
+                server.recovery_status().ToString());
+  }
+  if (server.durable_store() != nullptr) {
+    std::cerr << "uctr_serve: recovered "
+              << server.durable_store()->recovered_tables()
+              << " table(s) from " << server.durable_store()->dir()
+              << " (fsync=" << server.durable_store()->fsync_mode() << ")\n";
+  }
 
   InstallShutdownHandlers();
 

@@ -349,4 +349,42 @@ std::string Codec::Fingerprint(std::string_view encoded) {
   return out;
 }
 
+uint64_t Codec::Checksum64(std::string_view bytes) { return Fnv1a(bytes); }
+
+std::string Codec::ToHex(std::string_view bytes) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(kHex[c >> 4]);
+    out.push_back(kHex[c & 0xf]);
+  }
+  return out;
+}
+
+Result<std::string> Codec::FromHex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    return Status::InvalidArgument("hex decode: odd-length input (" +
+                                   std::to_string(hex.size()) + " chars)");
+  }
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("hex decode: non-hex digit at offset " +
+                                     std::to_string(hi < 0 ? i : i + 1));
+    }
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
 }  // namespace uctr::store

@@ -53,6 +53,18 @@ class Codec {
   /// \brief Content fingerprint of encoded bytes: 64-bit FNV-1a rendered
   /// as 16 lowercase hex chars. Same hash family the result cache uses.
   static std::string Fingerprint(std::string_view encoded);
+
+  /// \brief Raw 64-bit FNV-1a over `bytes` — the hash behind both the
+  /// header checksum and Fingerprint. Exported so the WAL frames records
+  /// with the same checksum the codec header carries.
+  static uint64_t Checksum64(std::string_view bytes);
+
+  /// \brief Lowercase-hex transport encoding for codec bytes, used where
+  /// the bytes must ride inside a JSON string field (router read-repair's
+  /// get_table / put_table table_hex). FromHex rejects odd lengths and
+  /// non-hex digits.
+  static std::string ToHex(std::string_view bytes);
+  static Result<std::string> FromHex(std::string_view hex);
 };
 
 }  // namespace uctr::store

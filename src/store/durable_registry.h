@@ -1,0 +1,143 @@
+#ifndef UCTR_STORE_DURABLE_REGISTRY_H_
+#define UCTR_STORE_DURABLE_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "store/registry.h"
+#include "store/wal.h"
+
+namespace uctr::store {
+
+struct DurableStoreConfig {
+  /// Directory holding `snapshot.log` and `wal.log`. Created if absent.
+  std::string dir;
+  FsyncMode fsync = FsyncMode::kInterval;
+  int fsync_interval_ms = 50;
+  /// Once the WAL grows past this, the next Put triggers a snapshot +
+  /// log compaction (atomic write-rename, then the WAL restarts empty).
+  uint64_t compact_wal_bytes = 32ull << 20;
+  /// Metrics sink; null = obs::DefaultRegistry().
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// \brief Durability layer over TableRegistry: every put is logged before
+/// it is acknowledged, and every logged table survives process death.
+///
+/// Files in `dir` (both use the Wal record framing):
+///   snapshot.log  compacted baseline, replaced atomically (write
+///                 snapshot.log.tmp, fsync, rename — the PR 4 checkpoint
+///                 pattern)
+///   wal.log       appends since the last compaction
+///
+/// Ack contract: Put/PutEncodedBytes return OK only after the table's
+/// canonical codec bytes are appended to the WAL (fsynced per FsyncMode).
+/// Recover() replays snapshot then WAL — later records for the same
+/// fingerprint win, torn WAL tails are truncated, corrupt records are
+/// skipped and counted — so a restarted process serves exactly the acked
+/// prefix, byte-identical by content fingerprint.
+///
+/// Eviction safety: the registry's LRU may drop a table's in-memory copy,
+/// but the DurableStore keeps a fingerprint → disk-location index; Get()
+/// reloads evicted tables from disk transparently (counted in
+/// `store_evict_reload_total`), so a durable fingerprint never hard-misses.
+///
+/// Thread-safe. One mutex serializes puts, compaction, and miss-path disk
+/// loads; registry hits (the zero-parse hot path) do not take it.
+class DurableStore {
+ public:
+  /// `registry` must outlive the store.
+  DurableStore(TableRegistry* registry, DurableStoreConfig config);
+  ~DurableStore();
+  DurableStore(const DurableStore&) = delete;
+  DurableStore& operator=(const DurableStore&) = delete;
+
+  /// \brief Replays snapshot.log + wal.log into the registry, repairs the
+  /// WAL's torn tail, and opens the WAL for appending. Must be called
+  /// (and return OK) before any Put/Get. Non-OK means the store directory
+  /// is unusable (unwritable, undecodable snapshot) — the server should
+  /// refuse to start rather than silently serve without durability.
+  Status Recover();
+
+  /// \brief Encodes, logs, then registers `table`. Ack-after-append.
+  Result<PutResult> Put(Table table);
+
+  /// \brief Same contract for pre-encoded canonical codec bytes (router
+  /// read-repair delivery). Validates before logging.
+  Result<PutResult> PutEncodedBytes(std::string_view bytes);
+
+  /// \brief Registry get with a disk fallback: a miss on a fingerprint
+  /// that has a durable copy reloads it from disk, re-registers it, and
+  /// serves it — an LRU eviction is a slow hit, not a data loss.
+  std::shared_ptr<const Table> Get(std::string_view fingerprint);
+
+  /// \brief The canonical codec bytes for a durable fingerprint (serves
+  /// the `get_table` op that router read-repair rides on).
+  Result<std::string> GetEncodedBytes(std::string_view fingerprint);
+
+  /// \brief True if `fingerprint` has a durable copy on disk.
+  bool Contains(std::string_view fingerprint) const;
+
+  uint64_t recovered_tables() const { return recovered_tables_; }
+  uint64_t durable_tables() const;
+  uint64_t wal_bytes() const;
+  uint64_t compactions() const { return compactions_->value(); }
+  uint64_t evict_reloads() const { return evict_reloads_->value(); }
+  const std::string& dir() const { return config_.dir; }
+  const char* fsync_mode() const { return FsyncModeToString(config_.fsync); }
+
+ private:
+  /// Where a table's payload bytes live on disk right now.
+  struct DiskRef {
+    enum class File : uint8_t { kSnapshot, kWal };
+    File file = File::kWal;
+    uint64_t offset = 0;  ///< payload offset within the file
+    uint64_t length = 0;  ///< payload length in bytes
+  };
+
+  std::string SnapshotPath() const;
+  std::string WalPath() const;
+
+  /// Reads one payload back from disk (pread on the ref's file).
+  Result<std::string> ReadRef(const DiskRef& ref) const;
+
+  /// Appends to the WAL and records the disk ref; compacts first when the
+  /// log is past the budget. Caller holds mu_.
+  Status LogLocked(std::string_view fingerprint, std::string_view bytes);
+
+  /// Writes every live table into snapshot.log.tmp, renames it over
+  /// snapshot.log, restarts the WAL empty, and repoints all refs.
+  Status CompactLocked();
+
+  /// (Re)opens the read fd for `path` into `*fd`; -1 stays -1 if the
+  /// file does not exist.
+  Status OpenReadFd(const std::string& path, int* fd);
+
+  TableRegistry* registry_;
+  DurableStoreConfig config_;
+
+  mutable std::mutex mu_;
+  std::optional<Wal> wal_;
+  std::unordered_map<std::string, DiskRef> refs_;
+  int snapshot_fd_ = -1;
+  int wal_read_fd_ = -1;
+  bool recovered_ = false;
+  uint64_t recovered_tables_ = 0;
+
+  obs::Counter* durable_puts_;
+  obs::Counter* evict_reloads_;
+  obs::Counter* compactions_;
+  obs::Counter* recovered_total_;
+};
+
+}  // namespace uctr::store
+
+#endif  // UCTR_STORE_DURABLE_REGISTRY_H_

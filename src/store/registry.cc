@@ -40,14 +40,39 @@ TableRegistry::Shard& TableRegistry::ShardFor(std::string_view fingerprint) {
   return *shards_[LowBits(fingerprint) % shards_.size()];
 }
 
-Result<PutResult> TableRegistry::Put(Table table) {
-  puts_->Increment();
+EncodedTable TableRegistry::EncodeTable(const Table& table) {
   ColumnarTable columnar = ColumnarTable::FromTable(table);
-  std::string encoded = Codec::Encode(columnar);
+  EncodedTable out;
+  out.bytes = Codec::Encode(columnar);
+  out.fingerprint = Codec::Fingerprint(out.bytes);
+  out.approx_bytes = columnar.ApproxBytes();
+  return out;
+}
+
+Result<PutResult> TableRegistry::Put(Table table) {
+  EncodedTable encoded = EncodeTable(table);
+  return PutPreEncoded(std::move(table), encoded);
+}
+
+Result<PutResult> TableRegistry::PutEncodedBytes(std::string_view bytes) {
+  Result<ColumnarTable> columnar = Codec::Decode(bytes);
+  if (!columnar.ok()) return columnar.status();
+  Result<Table> table = columnar->ToTable();
+  if (!table.ok()) return table.status();
+  EncodedTable encoded;
+  encoded.bytes.assign(bytes.data(), bytes.size());
+  encoded.fingerprint = Codec::Fingerprint(bytes);
+  encoded.approx_bytes = columnar->ApproxBytes();
+  return PutPreEncoded(std::move(*table), encoded);
+}
+
+Result<PutResult> TableRegistry::PutPreEncoded(Table table,
+                                               const EncodedTable& encoded) {
+  puts_->Increment();
 
   PutResult result;
-  result.fingerprint = Codec::Fingerprint(encoded);
-  result.bytes = columnar.ApproxBytes();
+  result.fingerprint = encoded.fingerprint;
+  result.bytes = encoded.approx_bytes;
 
   Shard& shard = ShardFor(result.fingerprint);
   {

@@ -32,6 +32,15 @@ struct PutResult {
   bool inserted = false;    ///< false: identical table was already present
 };
 
+/// \brief A table's canonical codec bytes plus the facts derived from
+/// them, produced once by EncodeTable so the durable path (encode → WAL
+/// append → registry insert) never encodes the same table twice.
+struct EncodedTable {
+  std::string bytes;        ///< canonical store::Codec bytes
+  std::string fingerprint;  ///< Codec::Fingerprint(bytes)
+  size_t approx_bytes = 0;  ///< in-memory footprint for LRU accounting
+};
+
 /// \brief Content-addressed cache of served evidence tables.
 ///
 /// Put() canonically encodes the table (store::Codec), fingerprints the
@@ -58,9 +67,25 @@ class TableRegistry {
   explicit TableRegistry(RegistryConfig config = {},
                          obs::MetricsRegistry* metrics = nullptr);
 
+  /// \brief Canonically encodes `table` (FromTable → Codec::Encode) and
+  /// derives its fingerprint and footprint. Pure; no registry state.
+  static EncodedTable EncodeTable(const Table& table);
+
   /// \brief Registers `table` under its content fingerprint, warming its
   /// index first so readers never pay the build. Dedups on fingerprint.
   Result<PutResult> Put(Table table);
+
+  /// \brief Put for a caller that already holds the canonical encoding
+  /// (DurableStore encodes once, logs the bytes, then inserts here).
+  /// `encoded` must be EncodeTable(table) — same warm/dedup/evict
+  /// behavior as Put without re-encoding.
+  Result<PutResult> PutPreEncoded(Table table, const EncodedTable& encoded);
+
+  /// \brief Registers a table from its canonical codec bytes (WAL replay,
+  /// snapshot load, router read-repair's table_hex). Decodes, validates,
+  /// and inserts; the fingerprint is recomputed from `bytes` so a caller
+  /// cannot register content under a wrong address.
+  Result<PutResult> PutEncodedBytes(std::string_view bytes);
 
   /// \brief Looks up a registered table; nullptr on miss (counted).
   std::shared_ptr<const Table> Get(std::string_view fingerprint);

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -362,6 +363,124 @@ TEST_F(RouterTest, RefMissFailsOverToSiblingThatHoldsTheTable) {
           "5.\"}");
   EXPECT_NE(response.find("\"status\":\"ok\""), std::string::npos)
       << response;
+}
+
+TEST_F(RouterTest, ReplicatedPutLandsOnEveryRingSuccessor) {
+  StartBackends(2);
+  RouterConfig config = BaseConfig();
+  config.put_replicas = 2;
+  StartRouter(config);
+  std::string put = CallRouter(
+      router_.get(), "{\"id\":1,\"op\":\"put_table\",\"table\":\"" +
+                         JsonEscapeNewlines(kMedalsCsv) + "\"}");
+  ASSERT_NE(put.find("\"status\":\"ok\""), std::string::npos) << put;
+  auto fp_pos = put.find("\"fingerprint\":\"");
+  ASSERT_NE(fp_pos, std::string::npos) << put;
+  std::string fingerprint = put.substr(fp_pos + 15, 16);
+  std::string ref_request =
+      "{\"id\":2,\"op\":\"verify\",\"table_ref\":\"" + fingerprint +
+      "\",\"query\":\"The gold of the row whose nation is japan is 5.\"}";
+
+  // The ack rode on the owner's response alone; the replica copy lands
+  // asynchronously on the forwarding worker. Poll until BOTH shards
+  // serve the ref directly and non-degraded (a non-holder answers a
+  // NotFound error: there is no inline table to fall back to).
+  auto holds = [&](size_t i) {
+    auto direct = Client::Connect("127.0.0.1", backends_[i]->port());
+    if (!direct.ok()) return false;
+    auto answer = direct->Call(ref_request);
+    return answer.ok() &&
+           answer->find("\"status\":\"ok\"") != std::string::npos &&
+           answer->find("\"degraded\"") == std::string::npos;
+  };
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while ((!holds(0) || !holds(1)) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(holds(0)) << "shard 0 must hold the replicated table";
+  EXPECT_TRUE(holds(1)) << "shard 1 must hold the replicated table";
+  EXPECT_GE(RouterCounter("router_put_replica_total"), 1u);
+  EXPECT_EQ(RouterCounter("router_put_replica_failures_total"), 0u);
+}
+
+TEST_F(RouterTest, ReadRepairRestoresRestartedOwnerToFullService) {
+  StartBackends(2);
+  RouterConfig config = BaseConfig();
+  config.put_replicas = 2;
+  config.call_timeout_ms = 5000;
+  StartRouter(config);
+  std::string put = CallRouter(
+      router_.get(), "{\"id\":1,\"op\":\"put_table\",\"table\":\"" +
+                         JsonEscapeNewlines(kMedalsCsv) + "\"}");
+  ASSERT_NE(put.find("\"status\":\"ok\""), std::string::npos) << put;
+  std::string fingerprint =
+      put.substr(put.find("\"fingerprint\":\"") + 15, 16);
+  std::string ref_request =
+      "{\"id\":2,\"op\":\"verify\",\"table_ref\":\"" + fingerprint +
+      "\",\"query\":\"The gold of the row whose nation is japan is 5.\"}";
+  auto holds = [&](size_t i) {
+    auto direct = Client::Connect("127.0.0.1", backends_[i]->port());
+    if (!direct.ok()) return false;
+    auto answer = direct->Call(ref_request);
+    return answer.ok() &&
+           answer->find("\"status\":\"ok\"") != std::string::npos &&
+           answer->find("\"degraded\"") == std::string::npos;
+  };
+  auto wait_for = [&](const std::function<bool()>& pred) {
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (!pred() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return pred();
+  };
+  ASSERT_TRUE(wait_for([&] { return holds(0) && holds(1); }))
+      << "replication must land on both shards before the kill";
+
+  // Find the ring owner of the fingerprint (the router's ring is
+  // deterministic: same labels, same vnodes).
+  std::vector<std::string> labels;
+  for (auto& b : backends_) {
+    labels.push_back("127.0.0.1:" + std::to_string(b->port()));
+  }
+  ConsistentRing ring(labels, config.vnodes);
+  size_t owner = ring.Preference(fingerprint)[0];
+  size_t sibling = 1 - owner;
+
+  // Kill the owner (crash, not drain). The replica on the sibling keeps
+  // the ref servable with zero lost replies.
+  uint16_t owner_port = backends_[owner]->port();
+  backends_[owner]->Stop();
+  router_->ProbeNow();
+  EXPECT_EQ(router_->backends_in_ring(), 1u);
+  std::string during = CallRouter(router_.get(), ref_request);
+  EXPECT_NE(during.find("\"status\":\"ok\""), std::string::npos) << during;
+
+  // Restart the owner on the same port with an EMPTY registry (a real
+  // crashed process loses its memory-only tables) and let it rejoin.
+  backends_[owner] = std::make_unique<BackendProcess>(owner_port);
+  ASSERT_EQ(backends_[owner]->port(), owner_port);
+  router_->ProbeNow();
+  EXPECT_EQ(router_->backends_in_ring(), 2u);
+  ASSERT_FALSE(holds(owner)) << "the restarted owner starts empty";
+
+  // The routed ref now lands on the recovered-but-empty owner, ref-misses,
+  // fails over to the sibling (the reply is still ok — nothing lost), and
+  // triggers read-repair in the background.
+  std::string routed = CallRouter(router_.get(), ref_request);
+  EXPECT_NE(routed.find("\"status\":\"ok\""), std::string::npos) << routed;
+
+  // Convergence: the owner ends up holding the table again and serves the
+  // ref directly, non-degraded — full ownership restored.
+  EXPECT_TRUE(wait_for([&] { return holds(owner); }))
+      << "read-repair must restore the owner's copy";
+  EXPECT_GE(RouterCounter("router_read_repair_total"), 1u);
+  EXPECT_EQ(RouterCounter("router_read_repair_failures_total"), 0u);
+  std::string after = CallRouter(router_.get(), ref_request);
+  EXPECT_NE(after.find("\"status\":\"ok\""), std::string::npos) << after;
+  EXPECT_EQ(after.find("\"degraded\""), std::string::npos) << after;
+  (void)sibling;
 }
 
 TEST_F(RouterTest, DrainingBackendStopsReceivingNewKeys) {
