@@ -148,18 +148,12 @@ QaBucketScores EvaluateQa(const model::QaModel& qa_model,
 
 double EvaluateDenotation(const model::QaModel& qa_model,
                           const Dataset& data) {
-  std::vector<std::string> pred, gold;
-  for (const Sample& s : data.samples) {
-    if (s.task != TaskType::kQuestionAnswering) continue;
-    pred.push_back(qa_model.Predict(s));
-    gold.push_back(s.answer);
-  }
-  return eval::DenotationAccuracy(pred, gold);
+  return eval::QaDenotationAccuracy(qa_model, data);
 }
 
 double EvaluateVerifier(const model::VerifierModel& verifier,
                         const Dataset& data) {
-  return verifier.Accuracy(data);
+  return eval::VerifierLabelAccuracy(verifier, data);
 }
 
 std::vector<bool> VerifierCorrectness(const model::VerifierModel& verifier,

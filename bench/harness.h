@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "datasets/benchmark.h"
 #include "eval/metrics.h"
+#include "eval/model_eval.h"
 #include "gen/generator.h"
 #include "model/qa_model.h"
 #include "model/verifier.h"

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Self-training loop benchmark -> BENCH_selftrain.json
+#
+# Runs uctr_selftrain (Release build) over a fresh state directory and a
+# resumed one, and records:
+#
+#   cold_wall_s        full --rounds run on an empty state dir
+#   resume_wall_s      re-invocation over the finished dir (pure resume:
+#                      0 phases executed — the price of a no-op restart)
+#   phase_ms           per-phase wall times of the cold run, keyed
+#                      "round-<r>/<phase>" (from --report-json)
+#   rounds[]           per-round generated/kept/dropped/kept_ratio and
+#                      held-out accuracy
+#   pass               accuracy gate: final round >= round 0 (the ISSUE's
+#                      self-training acceptance bar)
+#
+# Recorded, not gated on time: absolute wall time is hardware. The only
+# gate is the accuracy delta, which is deterministic for a fixed seed.
+#
+# Usage:
+#   scripts/bench_selftrain.sh            # fv task, 3 rounds, seed 42
+#   ROUNDS=5 SEED=7 scripts/bench_selftrain.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc)}"
+ROUNDS="${ROUNDS:-3}"
+SEED="${SEED:-42}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" -j "$JOBS" --target uctr_selftrain_bin >/dev/null
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+state_dir="$TMP/state"
+report="$TMP/report.json"
+
+now_ms() { date +%s%3N; }
+
+start=$(now_ms)
+./"$BUILD_DIR"/src/selftrain/uctr_selftrain --state-dir "$state_dir" \
+  --rounds "$ROUNDS" --seed "$SEED" --report-json "$report" >/dev/null
+cold_ms=$(( $(now_ms) - start ))
+
+start=$(now_ms)
+./"$BUILD_DIR"/src/selftrain/uctr_selftrain --state-dir "$state_dir" \
+  --rounds "$ROUNDS" --seed "$SEED" >/dev/null
+resume_ms=$(( $(now_ms) - start ))
+
+rounds_json=$(sed -n 's/.*"rounds":\(\[.*\]\),"phase_ms".*/\1/p' "$report")
+phase_json=$(sed -n 's/.*"phase_ms":\({.*}\)}$/\1/p' "$report")
+first_acc=$(echo "$rounds_json" | grep -o '"accuracy":[0-9.]*' | head -n1 |
+  cut -d: -f2)
+last_acc=$(echo "$rounds_json" | grep -o '"accuracy":[0-9.]*' | tail -n1 |
+  cut -d: -f2)
+pass=$(awk -v a="$first_acc" -v b="$last_acc" \
+  'BEGIN { print (b >= a) ? "true" : "false" }')
+
+cat > BENCH_selftrain.json <<EOF
+{
+  "bench": "selftrain",
+  "rounds_configured": $ROUNDS,
+  "seed": $SEED,
+  "cold_wall_s": $(awk -v ms="$cold_ms" 'BEGIN { printf "%.3f", ms / 1000 }'),
+  "resume_wall_s": $(awk -v ms="$resume_ms" 'BEGIN { printf "%.3f", ms / 1000 }'),
+  "round0_accuracy": $first_acc,
+  "final_accuracy": $last_acc,
+  "rounds": $rounds_json,
+  "phase_ms": $phase_json,
+  "pass": $pass
+}
+EOF
+cat BENCH_selftrain.json
+if [[ "$pass" != true ]]; then
+  echo "bench_selftrain: final accuracy $last_acc fell below round 0" \
+    "accuracy $first_acc" >&2
+  exit 1
+fi

@@ -33,6 +33,11 @@
 #                                           # clean and chaos variants,
 #                                           # SIGTERM drain of the whole
 #                                           # stack)
+#   scripts/check.sh selftrain              # selftrain_test + a kill -9
+#                                           # drill of uctr_selftrain
+#                                           # (resume must be byte-
+#                                           # identical to an
+#                                           # uninterrupted run)
 #   scripts/check.sh plan                   # ir_test (IR/VM/plan-cache
 #                                           # differential suite) + a
 #                                           # uctr_serve drill with the
@@ -475,6 +480,54 @@ if [[ "${1:-}" == plan ]]; then
     exit 1
   fi
   echo "plan ($SANITIZE) check passed"
+  exit 0
+fi
+if [[ "${1:-}" == selftrain ]]; then
+  # Self-training mode: the orchestrator suite under the sanitizer (kill-
+  # at-every-phase-boundary resume, confidence edge cases, fault retry),
+  # then a crash drill of the real uctr_selftrain binary: start a 2-round
+  # run slowed down with latency faults so kill -9 reliably lands
+  # mid-loop, kill it, resume with the same flags, and require the final
+  # state directory to be byte-identical to an uninterrupted run.
+  # attempts.log is excluded from the diff: it is an append-only
+  # operational journal whose line order races across generator threads
+  # even between two uninterrupted runs (the MANIFEST, filter, weights,
+  # losses, and RESULT artifacts are the determinism contract).
+  ./tests/selftrain_test
+
+  st_args=(--rounds 2 --seed 11 --tables 6 --samples-per-table 6
+           --eval-tables 6 --threads 2)
+  ref_dir=$(mktemp -d); crash_dir=$(mktemp -d)
+  if ! ./src/selftrain/uctr_selftrain --state-dir "$ref_dir" \
+      "${st_args[@]}" >/dev/null; then
+    echo "selftrain drill: reference run failed" >&2
+    exit 1
+  fi
+  ./src/selftrain/uctr_selftrain --state-dir "$crash_dir" "${st_args[@]}" \
+    --fault-spec 'selftrain.generate=latency(300):p=1;selftrain.train=latency(300):p=1' \
+    >/dev/null 2>&1 &
+  st_pid=$!
+  sleep 0.7
+  kill -KILL "$st_pid" 2>/dev/null || true
+  wait "$st_pid" 2>/dev/null || true
+  if ! ./src/selftrain/uctr_selftrain --state-dir "$crash_dir" \
+      "${st_args[@]}" >/dev/null; then
+    echo "selftrain drill: resume after kill -9 failed" >&2
+    exit 1
+  fi
+  if ! diff -r --exclude=attempts.log "$ref_dir" "$crash_dir"; then
+    echo "selftrain drill: resumed state dir diverged from uninterrupted run" >&2
+    exit 1
+  fi
+  # A mismatched run key must be rejected, not silently mixed in.
+  if ./src/selftrain/uctr_selftrain --state-dir "$crash_dir" \
+      "${st_args[@]}" --seed 12 >/dev/null 2>&1; then
+    echo "selftrain drill: mismatched --seed was not rejected" >&2
+    exit 1
+  fi
+  rm -rf "$ref_dir" "$crash_dir"
+  echo "selftrain drill (kill -9 + byte-identical resume) passed"
+  echo "selftrain ($SANITIZE) check passed"
   exit 0
 fi
 if [[ $# -gt 0 ]]; then

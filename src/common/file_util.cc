@@ -1,0 +1,35 @@
+#include "common/file_util.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace uctr {
+
+Result<std::string> ReadFileText(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::Internal("cannot open " + tmp + " for writing");
+    out << content;
+    out.flush();
+    if (!out) return Status::Internal("short write to " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::Internal("rename " + tmp + " -> " + path + ": " +
+                            ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace uctr

@@ -1,0 +1,24 @@
+#ifndef UCTR_COMMON_FILE_UTIL_H_
+#define UCTR_COMMON_FILE_UTIL_H_
+
+#include <string>
+
+#include "common/result.h"
+
+namespace uctr {
+
+/// \brief Reads a whole file as bytes. NotFound when it cannot be opened.
+Result<std::string> ReadFileText(const std::string& path);
+
+/// \brief Write-to-temp + rename: readers (and a resuming process) only
+/// ever see the old content or the complete new content, never a torn
+/// write. The temp file is `path + ".tmp"`, so concurrent writers of the
+/// SAME path must be externally serialized; distinct paths are safe.
+///
+/// This is the durability discipline every checkpoint/manifest writer in
+/// the repo shares (gen checkpoints, store snapshots, selftrain state).
+Status WriteFileAtomic(const std::string& path, const std::string& content);
+
+}  // namespace uctr
+
+#endif  // UCTR_COMMON_FILE_UTIL_H_

@@ -1,0 +1,23 @@
+#include "eval/model_eval.h"
+
+#include "eval/metrics.h"
+
+namespace uctr::eval {
+
+double QaDenotationAccuracy(const model::QaModel& qa_model,
+                            const Dataset& data) {
+  std::vector<std::string> pred, gold;
+  for (const Sample& s : data.samples) {
+    if (s.task != TaskType::kQuestionAnswering) continue;
+    pred.push_back(qa_model.Predict(s));
+    gold.push_back(s.answer);
+  }
+  return DenotationAccuracy(pred, gold);
+}
+
+double VerifierLabelAccuracy(const model::VerifierModel& verifier,
+                             const Dataset& data) {
+  return verifier.Accuracy(data);
+}
+
+}  // namespace uctr::eval

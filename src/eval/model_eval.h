@@ -1,0 +1,23 @@
+#ifndef UCTR_EVAL_MODEL_EVAL_H_
+#define UCTR_EVAL_MODEL_EVAL_H_
+
+#include "gen/sample.h"
+#include "model/qa_model.h"
+#include "model/verifier.h"
+
+namespace uctr::eval {
+
+/// \brief Denotation accuracy of a QA model over the QA samples of
+/// `data` (WiKiSQL protocol). Library-side twin of the bench harness
+/// evaluator so non-bench subsystems (self-training) can score rounds.
+double QaDenotationAccuracy(const model::QaModel& qa_model,
+                            const Dataset& data);
+
+/// \brief Label accuracy of a verifier over the verification samples of
+/// `data` (FEVEROUS protocol, reasoning stage).
+double VerifierLabelAccuracy(const model::VerifierModel& verifier,
+                             const Dataset& data);
+
+}  // namespace uctr::eval
+
+#endif  // UCTR_EVAL_MODEL_EVAL_H_

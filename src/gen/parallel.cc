@@ -11,6 +11,7 @@
 #include <sstream>
 #include <thread>
 
+#include "common/file_util.h"
 #include "fault/fault.h"
 #include "fault/policy.h"
 #include "gen/serialize.h"
@@ -98,47 +99,25 @@ uint64_t CorpusFingerprint(const std::vector<TableWithText>& corpus) {
   return hash;
 }
 
-Result<std::string> ReadFileText(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
-
-/// Write-to-temp + rename: readers (and a resuming process) only ever see
-/// the old content or the complete new content, never a torn write.
-Status WriteFileAtomic(const std::string& path, const std::string& content) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::Internal("cannot open " + tmp + " for writing");
-    out << content;
-    out.flush();
-    if (!out) return Status::Internal("short write to " + tmp);
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    return Status::Internal("rename " + tmp + " -> " + path + ": " +
-                            ec.message());
-  }
-  return Status::OK();
-}
-
 /// The checkpoint MANIFEST: which shards are durably finished or
-/// quarantined, and which (seed, corpus, size) the checkpoint belongs to.
+/// quarantined, and which (seed, corpus, config, size) the checkpoint
+/// belongs to. v2 added the GenerationConfig fingerprint; v1 manifests
+/// (no config key) parse but never validate, so pre-config checkpoint
+/// directories are refused instead of silently resumed under a possibly
+/// different config.
 struct Manifest {
   uint64_t seed = 0;
   uint64_t corpus_fingerprint = 0;
+  uint64_t config_fingerprint = 0;
   size_t shards = 0;
   std::set<size_t> done;
   std::set<size_t> poisoned;
 
   std::string Serialize() const {
-    std::string out = "uctr-checkpoint v1\n";
+    std::string out = "uctr-checkpoint v2\n";
     out += "seed " + std::to_string(seed) + "\n";
     out += "corpus " + std::to_string(corpus_fingerprint) + "\n";
+    out += "config " + std::to_string(config_fingerprint) + "\n";
     out += "shards " + std::to_string(shards) + "\n";
     for (size_t i : done) out += "done " + std::to_string(i) + "\n";
     for (size_t i : poisoned) out += "poison " + std::to_string(i) + "\n";
@@ -148,7 +127,8 @@ struct Manifest {
   static Result<Manifest> Parse(const std::string& text) {
     std::istringstream in(text);
     std::string header;
-    if (!std::getline(in, header) || header != "uctr-checkpoint v1") {
+    if (!std::getline(in, header) ||
+        (header != "uctr-checkpoint v1" && header != "uctr-checkpoint v2")) {
       return Status::InvalidArgument("not a uctr checkpoint manifest");
     }
     Manifest m;
@@ -163,6 +143,8 @@ struct Manifest {
         m.seed = value;
       } else if (key == "corpus") {
         m.corpus_fingerprint = value;
+      } else if (key == "config") {
+        m.config_fingerprint = value;
       } else if (key == "shards") {
         m.shards = static_cast<size_t>(value);
       } else if (key == "done") {
@@ -179,6 +161,46 @@ struct Manifest {
 };
 
 }  // namespace
+
+uint64_t GenerationConfigFingerprint(const GenerationConfig& config) {
+  // Canonical text rendering of every dataset-shaping knob, hashed. Field
+  // names are spelled out so reordering or adding knobs changes the
+  // fingerprint only when the serialization here changes with them.
+  std::ostringstream canon;
+  canon << "uctr-genconfig-v1";
+  canon << ";task=" << static_cast<int>(config.task);
+  canon << ";programs=";
+  for (ProgramType type : config.program_types) {
+    canon << static_cast<int>(type) << ",";
+  }
+  char buf[64];
+  auto put_double = [&](const char* name, double value) {
+    std::snprintf(buf, sizeof(buf), ";%s=%.17g", name, value);
+    canon << buf;
+  };
+  canon << ";samples_per_table=" << config.samples_per_table;
+  canon << ";max_attempts=" << config.max_attempts;
+  canon << ";t2t=" << (config.use_table_to_text ? 1 : 0);
+  canon << ";tt2=" << (config.use_text_to_table ? 1 : 0);
+  put_double("hybrid_fraction", config.hybrid_fraction);
+  put_double("supported_fraction", config.supported_fraction);
+  put_double("unknown_fraction", config.unknown_fraction);
+  canon << ";nl_stochastic=" << (config.nl.stochastic ? 1 : 0);
+  put_double("nl_synonym", config.nl.paraphrase.synonym_prob);
+  put_double("nl_drop", config.nl.paraphrase.drop_prob);
+  put_double("nl_typo", config.nl.paraphrase.typo_prob);
+  // The lexicon is a borrowed pointer whose content is opaque here: fold
+  // in only whether an override is present (see the header caveat).
+  canon << ";lexicon=" << (config.lexicon != nullptr ? 1 : 0);
+  canon << ";weights=";
+  for (const auto& [tag, weight] : config.reasoning_weights) {
+    canon << tag << "=";
+    std::snprintf(buf, sizeof(buf), "%.17g,", weight);
+    canon << buf;
+  }
+  canon << ";quarantine_after=" << config.quarantine_after;
+  return Fnv1a(canon.str());
+}
 
 Result<Dataset> GenerateDatasetCheckpointed(
     const GenerationConfig& config, const TemplateLibrary* library,
@@ -215,6 +237,7 @@ Result<Dataset> GenerateDatasetCheckpointed(
   Manifest manifest;
   manifest.seed = base_seed;
   manifest.corpus_fingerprint = CorpusFingerprint(corpus);
+  manifest.config_fingerprint = GenerationConfigFingerprint(config);
   manifest.shards = corpus.size();
   if (fs::exists(manifest_path)) {
     auto text = ReadFileText(manifest_path);
@@ -223,11 +246,13 @@ Result<Dataset> GenerateDatasetCheckpointed(
     if (!loaded.ok()) return loaded.status();
     if (loaded->seed != manifest.seed ||
         loaded->corpus_fingerprint != manifest.corpus_fingerprint ||
+        loaded->config_fingerprint != manifest.config_fingerprint ||
         loaded->shards != manifest.shards) {
       return Status::InvalidArgument(
           "checkpoint directory " + checkpoint.directory +
-          " belongs to a different run (seed/corpus/shard-count mismatch); "
-          "refusing to mix datasets");
+          " belongs to a different run "
+          "(seed/corpus/config/shard-count mismatch); refusing to mix "
+          "datasets");
     }
     manifest = std::move(loaded).ValueOrDie();
   }

@@ -26,6 +26,16 @@ Dataset GenerateDatasetParallel(const GenerationConfig& config,
                                 const std::vector<TableWithText>& corpus,
                                 uint64_t base_seed, size_t num_threads);
 
+/// \brief Stable fingerprint of every GenerationConfig knob that shapes
+/// the generated dataset (task, program types, sampling counts, pipeline
+/// toggles, fractions, NL noise profile, reasoning weights, quarantine).
+/// Two configs with equal fingerprints produce byte-identical datasets
+/// from the same (library, corpus, seed). The lexicon override cannot be
+/// content-hashed (it is an opaque borrowed pointer), so only its
+/// presence is folded in — callers switching between two *non-default*
+/// lexicons must use distinct checkpoint directories.
+uint64_t GenerationConfigFingerprint(const GenerationConfig& config);
+
 /// \brief Crash-safe checkpointing knobs for GenerateDatasetCheckpointed.
 struct CheckpointOptions {
   /// Directory holding the checkpoint state: one `shard-<i>.jsonl` per
@@ -59,13 +69,17 @@ struct CheckpointReport {
 ///
 /// Each completed corpus entry is persisted as `shard-<i>.jsonl`
 /// (write-to-temp + atomic rename) and recorded in an atomically rewritten
-/// `MANIFEST` keyed by (base_seed, corpus fingerprint); a run that is
-/// killed mid-way resumes from the manifest and — because every shard is
-/// seeded `base_seed + i` exactly as in GenerateDatasetParallel — the
-/// finished dataset is byte-identical to a single uninterrupted run at any
-/// thread count and any kill/resume schedule. A checkpoint directory whose
-/// manifest disagrees with (seed, corpus) is rejected with
-/// kInvalidArgument rather than silently mixing datasets.
+/// `MANIFEST` keyed by (base_seed, corpus fingerprint, GenerationConfig
+/// fingerprint); a run that is killed mid-way resumes from the manifest
+/// and — because every shard is seeded `base_seed + i` exactly as in
+/// GenerateDatasetParallel — the finished dataset is byte-identical to a
+/// single uninterrupted run at any thread count and any kill/resume
+/// schedule. A checkpoint directory whose manifest disagrees with (seed,
+/// corpus, config) is rejected with kInvalidArgument rather than silently
+/// mixing datasets — two runs differing only in config (e.g. successive
+/// self-training rounds with an evolving GenerationConfig) can never
+/// resume each other's shards. Manifests written before the config key
+/// existed (v1) are likewise rejected; start them in a fresh directory.
 ///
 /// The Unknown-label post-pass needs the complete dataset, so it runs only
 /// when the final shard lands (`report->complete`). Partial runs return

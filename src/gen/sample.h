@@ -70,6 +70,12 @@ struct Sample {
   std::string answer;
   std::vector<Value> answer_values;
 
+  /// \brief Training weight (confidence-reweighted self-training). 1.0 —
+  /// the default for generated and human-labeled samples — reproduces
+  /// unweighted training bit-for-bit; trainers skip non-positive or
+  /// non-finite weights.
+  double weight = 1.0;
+
   // Synthetic provenance (empty program text for human-labeled samples).
   Program program;
   std::string reasoning_type;

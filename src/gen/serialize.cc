@@ -1,5 +1,6 @@
 #include "gen/serialize.h"
 
+#include <cstdio>
 #include <map>
 #include <variant>
 #include <vector>
@@ -38,7 +39,15 @@ std::string SampleToJson(const Sample& sample) {
     if (i > 0) out += ',';
     out += std::to_string(sample.evidence_rows[i]);
   }
-  out += "]}";
+  out += "]";
+  // Emitted only when set, so pre-weight datasets (and every generator
+  // output, which always uses 1.0) round-trip byte-identically.
+  if (sample.weight != 1.0) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), ",\"weight\":%.17g", sample.weight);
+    out += buf;
+  }
+  out += "}";
   return out;
 }
 
@@ -61,7 +70,7 @@ Result<Sample> SampleFromJson(std::string_view json_text) {
     if (key != "task" && key != "sentence" && key != "label" &&
         key != "answer" && key != "table" && key != "table_name" &&
         key != "paragraph" && key != "program" && key != "reasoning_type" &&
-        key != "source" && key != "evidence_rows") {
+        key != "source" && key != "evidence_rows" && key != "weight") {
       return Status::ParseError("unknown field '" + key + "'");
     }
   }
@@ -140,6 +149,12 @@ Result<Sample> SampleFromJson(std::string_view json_text) {
       sample.evidence_rows.push_back(
           static_cast<size_t>(std::get<double>(entry.repr)));
     }
+  }
+  if (auto it = obj.find("weight"); it != obj.end()) {
+    if (!it->second.is_number()) {
+      return Status::ParseError("weight must be a number");
+    }
+    sample.weight = std::get<double>(it->second.repr);
   }
   return sample;
 }

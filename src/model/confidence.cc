@@ -1,0 +1,71 @@
+#include "model/confidence.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uctr::model {
+
+Result<double> MarginToConfidence(double margin) {
+  if (!std::isfinite(margin)) {
+    return Status::InvalidArgument("non-finite decision margin");
+  }
+  if (margin < 0.0) {
+    return Status::InvalidArgument("negative decision margin");
+  }
+  return margin / (1.0 + margin);
+}
+
+Result<Confidence> ScoreSample(const VerifierModel& model,
+                               const Sample& sample) {
+  Confidence out;
+  if (sample.task != TaskType::kFactVerification) return out;
+  std::vector<double> probs = model.Probabilities(sample);
+  size_t top = 0;
+  for (size_t c = 1; c < probs.size(); ++c) {
+    if (probs[c] > probs[top]) top = c;
+  }
+  double second = 0.0;
+  for (size_t c = 0; c < probs.size(); ++c) {
+    if (c != top) second = std::max(second, probs[c]);
+  }
+  UCTR_ASSIGN_OR_RETURN(out.score,
+                        MarginToConfidence(probs[top] - second));
+  // Probabilities are indexed in LabelToClass order.
+  Label predicted = top == 0   ? Label::kSupported
+                    : top == 1 ? Label::kRefuted
+                               : Label::kUnknown;
+  out.agrees = predicted == sample.label;
+  return out;
+}
+
+Result<Confidence> ScoreSample(const QaModel& model, const Sample& sample) {
+  Confidence out;
+  if (sample.task != TaskType::kQuestionAnswering) return out;
+  QaModel::Prediction prediction = model.PredictWithMargin(sample);
+  // Span-fallback answers carry no program-level evidence; their margin
+  // of 0 maps to confidence 0, so any positive threshold drops them.
+  UCTR_ASSIGN_OR_RETURN(out.score, MarginToConfidence(prediction.margin));
+  out.agrees = AnswersMatch(prediction.answer, sample.answer);
+  return out;
+}
+
+Result<FilterDecision> ApplyPolicy(const Confidence& confidence,
+                                   const FilterPolicy& policy) {
+  if (!std::isfinite(confidence.score) || confidence.score < 0.0) {
+    return Status::InvalidArgument("invalid confidence score");
+  }
+  if (!std::isfinite(policy.temperature) || policy.temperature <= 0.0) {
+    return Status::InvalidArgument("temperature must be positive");
+  }
+  FilterDecision decision;
+  if (policy.require_agreement && !confidence.agrees) return decision;
+  if (confidence.score < policy.threshold) return decision;
+  decision.keep = true;
+  decision.weight = std::pow(confidence.score, 1.0 / policy.temperature);
+  // score in [0, 1) keeps pow finite, but a kept sample must always be
+  // trainable: clamp the degenerate score==0, threshold==0 corner.
+  if (!(decision.weight > 0.0)) decision.weight = 1e-6;
+  return decision;
+}
+
+}  // namespace uctr::model

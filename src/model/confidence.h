@@ -1,0 +1,69 @@
+#ifndef UCTR_MODEL_CONFIDENCE_H_
+#define UCTR_MODEL_CONFIDENCE_H_
+
+#include "common/result.h"
+#include "gen/sample.h"
+#include "model/qa_model.h"
+#include "model/verifier.h"
+
+namespace uctr::model {
+
+/// \brief How confident the current round's model is in its own
+/// pseudo-label for a candidate sample (self-training, the sequel
+/// paper's UCTR-ST loop). Scores live in [0, 1).
+struct Confidence {
+  /// MarginToConfidence of the model's decision margin.
+  double score = 0.0;
+  /// True when the model's prediction agrees with the label the
+  /// generator attached to the sample (self-consistency check).
+  bool agrees = false;
+};
+
+/// \brief Squashes a decision margin into [0, 1): m / (1 + m).
+/// Monotone, 0 at margin 0, asymptotically 1 — so thresholds compose
+/// across the verifier's probability margins (bounded by 1) and the QA
+/// model's unbounded combined-score margins. Returns InvalidArgument for
+/// NaN, infinite, or negative margins: a corrupted margin must never
+/// silently become a confident sample.
+Result<double> MarginToConfidence(double margin);
+
+/// \brief Scores a fact-verification candidate: margin = p_top − p_second
+/// of the verifier's class probabilities; `agrees` compares the argmax
+/// against sample.label. Non-verification samples get score 0 / disagree.
+Result<Confidence> ScoreSample(const VerifierModel& model,
+                               const Sample& sample);
+
+/// \brief Scores a QA candidate: margin from PredictWithMargin (0 when
+/// the answer came from the span fallback, which carries no program
+/// evidence); `agrees` uses numeric-tolerant AnswersMatch against
+/// sample.answer. Non-QA samples get score 0 / disagree.
+Result<Confidence> ScoreSample(const QaModel& model, const Sample& sample);
+
+/// \brief One self-training round's filtering rule.
+struct FilterPolicy {
+  /// Minimum confidence score to keep a sample.
+  double threshold = 0.5;
+  /// Sharpening temperature for kept-sample weights:
+  /// weight = score^(1/temperature). 1.0 = weight equals the score;
+  /// lower values sharpen toward 0/1, higher flatten toward uniform.
+  double temperature = 1.0;
+  /// Drop samples whose model prediction contradicts the generated
+  /// label, regardless of confidence (self-consistency filtering).
+  bool require_agreement = true;
+};
+
+/// \brief Keep/drop plus the training weight for kept samples.
+struct FilterDecision {
+  bool keep = false;
+  double weight = 0.0;
+};
+
+/// \brief Applies `policy` to a scored sample. Kept samples get
+/// weight = score^(1/temperature), guaranteed finite and positive.
+/// Rejects non-finite scores and non-positive temperatures.
+Result<FilterDecision> ApplyPolicy(const Confidence& confidence,
+                                   const FilterPolicy& policy);
+
+}  // namespace uctr::model
+
+#endif  // UCTR_MODEL_CONFIDENCE_H_

@@ -49,13 +49,13 @@ int LinearModel::Predict(const FeatureVector& features) const {
 }
 
 void LinearModel::Update(const Example& example, double learning_rate,
-                         double l2) {
+                         double l2, double weight) {
   std::vector<double> probs = Probabilities(example.features);
   for (const Feature& f : example.features) {
     size_t idx = f.index % dim_;
     for (int c = 0; c < num_classes_; ++c) {
       double target = (c == example.label) ? 1.0 : 0.0;
-      double grad = (probs[c] - target) * f.value;
+      double grad = (probs[c] - target) * f.value * weight;
       size_t w = static_cast<size_t>(c) * dim_ + idx;
       grad += l2 * weights_[w];
       adagrad_[w] += static_cast<float>(grad * grad);
@@ -67,7 +67,9 @@ void LinearModel::Update(const Example& example, double learning_rate,
 }
 
 double LinearModel::Train(const std::vector<Example>& examples,
-                          const TrainConfig& config, Rng* rng) {
+                          const TrainConfig& config, Rng* rng,
+                          std::vector<double>* epoch_losses) {
+  if (epoch_losses != nullptr) epoch_losses->clear();
   if (examples.empty()) return 0.0;
   std::vector<size_t> order(examples.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -76,13 +78,20 @@ double LinearModel::Train(const std::vector<Example>& examples,
   for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
     if (config.shuffle && rng != nullptr) rng->Shuffle(&order);
     double loss = 0.0;
+    double total_weight = 0.0;
     for (size_t i : order) {
       const Example& ex = examples[i];
+      // Skip, don't scale: a NaN/inf/non-positive weight must never leak
+      // into the AdaGrad accumulators or the reported loss.
+      double w = static_cast<double>(ex.weight);
+      if (!std::isfinite(w) || w <= 0.0) continue;
       std::vector<double> probs = Probabilities(ex.features);
-      loss += -std::log(std::max(1e-12, probs[ex.label]));
-      Update(ex, config.learning_rate, config.l2);
+      loss += w * -std::log(std::max(1e-12, probs[ex.label]));
+      total_weight += w;
+      Update(ex, config.learning_rate, config.l2, w);
     }
-    last_loss = loss / static_cast<double>(examples.size());
+    last_loss = total_weight > 0.0 ? loss / total_weight : 0.0;
+    if (epoch_losses != nullptr) epoch_losses->push_back(last_loss);
   }
   return last_loss;
 }

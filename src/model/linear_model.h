@@ -19,10 +19,14 @@ struct Feature {
 
 using FeatureVector = std::vector<Feature>;
 
-/// \brief A labeled training example.
+/// \brief A labeled training example. `weight` scales the example's
+/// gradient and loss contribution (confidence-weighted self-training);
+/// non-finite or non-positive weights are skipped during training. The
+/// default 1.0 reproduces unweighted training bit-for-bit.
 struct Example {
   FeatureVector features;
   int label = 0;
+  float weight = 1.0f;
 };
 
 /// \brief Training hyper-parameters for the linear classifier.
@@ -56,9 +60,12 @@ class LinearModel {
 
   /// \brief Runs AdaGrad SGD over `examples`. Repeated calls continue
   /// training from the current weights (used by few-shot fine-tuning).
-  /// Returns the final-epoch average loss.
+  /// Returns the final-epoch weight-averaged loss; when `epoch_losses` is
+  /// non-null it receives one entry per epoch (the full convergence
+  /// trajectory — a caller can detect a diverging run by comparing the
+  /// tail against the head instead of trusting one final number).
   double Train(const std::vector<Example>& examples, const TrainConfig& config,
-               Rng* rng);
+               Rng* rng, std::vector<double>* epoch_losses = nullptr);
 
   /// \brief Mean accuracy of Predict over `examples`.
   double Evaluate(const std::vector<Example>& examples) const;
@@ -74,7 +81,8 @@ class LinearModel {
   static Result<LinearModel> LoadFromString(std::string_view text);
 
  private:
-  void Update(const Example& example, double learning_rate, double l2);
+  void Update(const Example& example, double learning_rate, double l2,
+              double weight);
 
   int num_classes_;
   size_t dim_;

@@ -99,7 +99,8 @@ std::string QaModel::ExtractSpanAnswer(const Sample& sample) const {
   return NlInterpreter::ClaimedValue(best_sentence);
 }
 
-void QaModel::Train(const Dataset& data, Rng* rng) {
+void QaModel::Train(const Dataset& data, Rng* rng,
+                    std::vector<double>* epoch_losses) {
   std::vector<Example> examples;
   for (const Sample& s : data.samples) {
     if (s.task != TaskType::kQuestionAnswering) continue;
@@ -117,17 +118,32 @@ void QaModel::Train(const Dataset& data, Rng* rng) {
     Example ex;
     ex.features = extractor_.Extract(s);
     ex.label = target;
+    ex.weight = static_cast<float>(s.weight);
     examples.push_back(std::move(ex));
   }
-  template_classifier_.Train(examples, config_.train, rng);
+  template_classifier_.Train(examples, config_.train, rng, epoch_losses);
   trained_ = trained_ || !examples.empty();
 }
 
 std::string QaModel::Predict(const Sample& sample) const {
-  std::vector<Interpretation> candidates = Candidates(sample);
-  if (candidates.empty()) return ExtractSpanAnswer(sample);
+  return PredictWithMargin(sample).answer;
+}
 
-  if (!trained_) return candidates.front().result.ToDisplayString();
+QaModel::Prediction QaModel::PredictWithMargin(const Sample& sample) const {
+  Prediction out;
+  std::vector<Interpretation> candidates = Candidates(sample);
+  if (candidates.empty()) {
+    out.answer = ExtractSpanAnswer(sample);
+    return out;  // span fallback or abstention: no program margin
+  }
+  out.from_program = true;
+
+  if (!trained_) {
+    out.answer = candidates.front().result.ToDisplayString();
+    out.margin = candidates.front().score -
+                 (candidates.size() > 1 ? candidates[1].score : 0.0);
+    return out;
+  }
 
   std::vector<double> prior =
       template_classifier_.Probabilities(extractor_.Extract(sample));
@@ -138,6 +154,7 @@ std::string QaModel::Predict(const Sample& sample) const {
   double top_binding = candidates.front().score;
   const Interpretation* best = nullptr;
   double best_score = -1.0;
+  double second_score = 0.0;  // a lone candidate's runner-up counts as 0
   for (const Interpretation& interp : candidates) {
     if (interp.score < top_binding - kPlausibleMargin) continue;
     double p = interp.template_index < prior.size()
@@ -145,11 +162,16 @@ std::string QaModel::Predict(const Sample& sample) const {
                    : 0.0;
     double score = interp.score * (1.0 + config_.classifier_weight * p);
     if (score > best_score) {
+      second_score = best_score < 0.0 ? 0.0 : best_score;
       best_score = score;
       best = &interp;
+    } else if (score > second_score) {
+      second_score = score;
     }
   }
-  return best->result.ToDisplayString();
+  out.answer = best->result.ToDisplayString();
+  out.margin = best_score - second_score;
+  return out;
 }
 
 bool QaModel::PredictCorrect(const Sample& sample) const {

@@ -56,10 +56,30 @@ class QaModel {
   /// \brief Trains the template classifier with weak supervision: each
   /// training question is matched to the candidate programs that produce
   /// its gold answer. Repeated calls continue training (few-shot).
-  void Train(const Dataset& data, Rng* rng);
+  /// Sample weights scale each example's gradient/loss contribution
+  /// (1.0 = classic unweighted training); `epoch_losses`, when non-null,
+  /// receives the per-epoch loss trajectory (see LinearModel::Train).
+  void Train(const Dataset& data, Rng* rng,
+             std::vector<double>* epoch_losses = nullptr);
 
   /// \brief Predicted answer display string; empty when the model abstains.
   std::string Predict(const Sample& sample) const;
+
+  /// \brief A prediction plus the evidence of how decisive it was, for
+  /// self-training confidence scoring (model::ScoreSample).
+  struct Prediction {
+    /// Same string Predict would return; empty when the model abstains.
+    std::string answer;
+    /// Combined score of the winning candidate minus the runner-up's
+    /// (the runner-up of a lone candidate counts as 0, so unambiguous
+    /// parses get a large margin). 0 for span-fallback answers and
+    /// abstentions — those carry no program-level evidence.
+    double margin = 0.0;
+    /// True when a bound program produced the answer (margin meaningful).
+    bool from_program = false;
+  };
+
+  Prediction PredictWithMargin(const Sample& sample) const;
 
   /// \brief True if the prediction matches the gold answer of `sample`
   /// (numeric-tolerant comparison).

@@ -93,7 +93,8 @@ std::optional<Sample> VerifierModel::WithTextEvidence(
   return out;
 }
 
-void VerifierModel::Train(const Dataset& data, Rng* rng) {
+void VerifierModel::Train(const Dataset& data, Rng* rng,
+                          std::vector<double>* epoch_losses) {
   std::vector<Example> examples;
   examples.reserve(data.size());
   for (const Sample& s : data.samples) {
@@ -104,15 +105,22 @@ void VerifierModel::Train(const Dataset& data, Rng* rng) {
     std::optional<Sample> expanded = WithTextEvidence(s);
     ex.features = extractor_.Extract(expanded ? *expanded : s);
     ex.label = label;
+    ex.weight = static_cast<float>(s.weight);
     examples.push_back(std::move(ex));
   }
-  model_.Train(examples, config_.train, rng);
+  model_.Train(examples, config_.train, rng, epoch_losses);
 }
 
 Label VerifierModel::Predict(const Sample& sample) const {
   std::optional<Sample> expanded = WithTextEvidence(sample);
   FeatureVector features = extractor_.Extract(expanded ? *expanded : sample);
   return ClassToLabel(model_.Predict(features));
+}
+
+std::vector<double> VerifierModel::Probabilities(const Sample& sample) const {
+  std::optional<Sample> expanded = WithTextEvidence(sample);
+  FeatureVector features = extractor_.Extract(expanded ? *expanded : sample);
+  return model_.Probabilities(features);
 }
 
 std::string VerifierModel::SaveWeights() const {

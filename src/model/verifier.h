@@ -55,10 +55,20 @@ class VerifierModel {
   VerifierModel(VerifierModel&& other) noexcept;
   VerifierModel& operator=(VerifierModel&& other) noexcept;
 
-  /// \brief Trains (or continues training) on `data`.
-  void Train(const Dataset& data, Rng* rng);
+  /// \brief Trains (or continues training) on `data`. Sample weights
+  /// scale each example's gradient/loss contribution (1.0 = classic
+  /// unweighted training). When `epoch_losses` is non-null it receives
+  /// the per-epoch loss trajectory (see LinearModel::Train).
+  void Train(const Dataset& data, Rng* rng,
+             std::vector<double>* epoch_losses = nullptr);
 
   Label Predict(const Sample& sample) const;
+
+  /// \brief Softmax class probabilities for `sample`, indexed by
+  /// LabelToClass order (Supported, Refuted[, Unknown]). The margin
+  /// between the top two entries is the model's confidence signal for
+  /// self-training (model::ScoreSample).
+  std::vector<double> Probabilities(const Sample& sample) const;
 
   /// \brief Label accuracy over `data`.
   double Accuracy(const Dataset& data) const;
